@@ -1,0 +1,249 @@
+// Command loggrep compresses log blocks into CapsuleBoxes (or multi-block
+// archives) and runs grep-like queries on them.
+//
+// Usage:
+//
+//	loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N]
+//	                 [-sp] [-no-pad] [-no-stamps] [-chunk-kb N] <logfile>
+//	loggrep query <file.lgrep> <query command>
+//	loggrep cat <file.lgrep>
+//	loggrep stat <file.lgrep>
+//
+// Examples:
+//
+//	loggrep compress -o app.lgrep app.log
+//	loggrep compress -archive -block-mb 16 big.log
+//	loggrep query app.lgrep 'ERROR AND dst:11.8.* NOT state:503'
+//	loggrep cat app.lgrep > app.log.restored
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"loggrep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "cat":
+		err = cmdCat(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggrep:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N] [-sp] [-no-pad] [-no-stamps] <logfile>
+  loggrep query <file.lgrep> <query command>
+  loggrep cat <file.lgrep>
+  loggrep stat <file.lgrep>
+  loggrep explain <box.lgrep> <query command>`)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default <logfile>.lgrep)")
+	arch := fs.Bool("archive", false, "build a multi-block archive")
+	blockMB := fs.Int("block-mb", 64, "archive block size in MB")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "archive compression workers")
+	sp := fs.Bool("sp", false, "static patterns only (LogGrep-SP)")
+	noPad := fs.Bool("no-pad", false, "disable fixed-length padding")
+	noStamps := fs.Bool("no-stamps", false, "disable capsule stamps")
+	chunkKB := fs.Int("chunk-kb", 0, "cut capsules into N-KB chunks (0 = whole capsules)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compress needs exactly one log file")
+	}
+	in := fs.Arg(0)
+	block, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	opts := loggrep.DefaultOptions()
+	opts.StaticOnly = *sp
+	opts.DisablePadding = *noPad
+	opts.DisableStamps = *noStamps
+	opts.ChunkBytes = *chunkKB << 10
+
+	var data []byte
+	if *arch {
+		aopts := loggrep.DefaultArchiveOptions()
+		aopts.Core = opts
+		aopts.BlockBytes = *blockMB << 20
+		aopts.Workers = *workers
+		data, err = loggrep.CompressArchive(block, aopts)
+		if err != nil {
+			return err
+		}
+	} else {
+		data = loggrep.Compress(block, opts)
+	}
+	dst := *out
+	if dst == "" {
+		dst = in + ".lgrep"
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (%.2fx)\n", dst, len(block), len(data),
+		float64(len(block))/float64(len(data)))
+	return nil
+}
+
+// opened abstracts a single box or an archive.
+type opened interface {
+	Query(command string) ([]int, []string, int, error)
+	Cat() ([]string, error)
+	Stat() string
+}
+
+type boxFile struct{ st *loggrep.Store }
+
+func (b boxFile) Query(cmd string) ([]int, []string, int, error) {
+	res, err := b.st.Query(cmd)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res.Lines, res.Entries, res.Decompressions, nil
+}
+func (b boxFile) Cat() ([]string, error) { return b.st.ReconstructAll() }
+func (b boxFile) Stat() string {
+	return fmt.Sprintf("format: capsule box\nlines: %d\ncompressed bytes: %d",
+		b.st.NumLines(), b.st.CompressedSize())
+}
+
+type archFile struct {
+	a    *loggrep.Archive
+	size int
+}
+
+func (a archFile) Query(cmd string) ([]int, []string, int, error) {
+	res, err := a.a.Query(cmd, 0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res.Lines, res.Entries, 0, nil
+}
+func (a archFile) Cat() ([]string, error) { return a.a.ReconstructAll() }
+func (a archFile) Stat() string {
+	return fmt.Sprintf("format: archive\nblocks: %d\nlines: %d\nraw bytes: %d\ncompressed bytes: %d",
+		a.a.NumBlocks(), a.a.NumLines(), a.a.RawBytes(), a.size)
+}
+
+func openAny(path string) (opened, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if loggrep.IsArchive(data) {
+		a, err := loggrep.OpenArchive(data)
+		if err != nil {
+			return nil, err
+		}
+		return archFile{a: a, size: len(data)}, nil
+	}
+	st, err := loggrep.Open(data, loggrep.QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return boxFile{st: st}, nil
+}
+
+func cmdQuery(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("query needs a compressed file and a command")
+	}
+	f, err := openAny(args[0])
+	if err != nil {
+		return err
+	}
+	lines, entries, decomp, err := f.Query(strings.Join(args[1:], " "))
+	if err != nil {
+		return err
+	}
+	for i, line := range lines {
+		fmt.Printf("%d:%s\n", line+1, entries[i])
+	}
+	if decomp > 0 {
+		fmt.Fprintf(os.Stderr, "%d matches, %d capsules decompressed\n", len(lines), decomp)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d matches\n", len(lines))
+	}
+	return nil
+}
+
+func cmdCat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cat needs a compressed file")
+	}
+	f, err := openAny(args[0])
+	if err != nil {
+		return err
+	}
+	lines, err := f.Cat()
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("explain needs a box file and a command")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if loggrep.IsArchive(data) {
+		return fmt.Errorf("explain works on single boxes, not archives")
+	}
+	st, err := loggrep.Open(data, loggrep.QueryOptions{})
+	if err != nil {
+		return err
+	}
+	ex, err := st.Explain(strings.Join(args[1:], " "))
+	if err != nil {
+		return err
+	}
+	fmt.Print(ex.String())
+	return nil
+}
+
+func cmdStat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat needs a compressed file")
+	}
+	f, err := openAny(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(f.Stat())
+	return nil
+}

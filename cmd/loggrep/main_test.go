@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loggrep/internal/loggen"
+)
+
+// buildCLI compiles the loggrep binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "loggrep")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", bin, args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "a.log")
+	lt, _ := loggen.ByName("A")
+	raw := lt.Block(3, 4000)
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// compress (box)
+	boxPath := filepath.Join(dir, "a.box")
+	out, _ := run(t, bin, "compress", "-o", boxPath, logPath)
+	if !strings.Contains(out, "->") {
+		t.Fatalf("compress output: %q", out)
+	}
+
+	// compress (archive, chunked)
+	arcPath := filepath.Join(dir, "a.arc")
+	run(t, bin, "compress", "-archive", "-block-mb", "1", "-chunk-kb", "32", "-o", arcPath, logPath)
+
+	for _, path := range []string{boxPath, arcPath} {
+		// stat
+		out, _ = run(t, bin, "stat", path)
+		if !strings.Contains(out, "lines: 4000") {
+			t.Fatalf("stat %s: %q", path, out)
+		}
+		// query
+		out, stderr := run(t, bin, "query", path, "ERROR AND state:REQ_ST_CLOSED AND 20012 AND reqId:5E9D21AD5E473938")
+		if !strings.Contains(out, "reqId:5E9D21AD5E473938") {
+			t.Fatalf("query %s returned no needles: %q", path, out)
+		}
+		if !strings.Contains(stderr, "matches") {
+			t.Fatalf("query stderr: %q", stderr)
+		}
+		// cat restores the original bytes
+		out, _ = run(t, bin, "cat", path)
+		if out != string(raw) {
+			t.Fatalf("cat %s does not round-trip (%d vs %d bytes)", path, len(out), len(raw))
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{},
+		{"nope"},
+		{"compress"},
+		{"query", "/does/not/exist", "x"},
+		{"cat"},
+	} {
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("loggrep %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command loggrepd serves LogGrep queries over HTTP.
+//
+// Usage:
+//
+//	loggrepd -addr :8080 -load prod=prod.lgrep -load web=web.log.lgrep
+//
+// Then:
+//
+//	curl 'localhost:8080/v1/query?source=prod&q=ERROR%20AND%20state:503'
+//	curl 'localhost:8080/v1/count?source=prod&q=ERROR'
+//	curl -X PUT --data-binary @more.lgrep localhost:8080/v1/sources/more
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"loggrep/internal/server"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var loads loadFlags
+	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
+	flag.Parse()
+
+	sv := server.New()
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -load %q, want name=path", spec))
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sv.Load(name, data); err != nil {
+			fatal(fmt.Errorf("load %s: %w", name, err))
+		}
+		fmt.Printf("loaded %s from %s (%d bytes)\n", name, path, len(data))
+	}
+	fmt.Printf("loggrepd listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, sv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loggrepd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Cost planner: pick a storage system for a near-line log workload by
+// measuring all five systems on a sample of your logs and extrapolating
+// with the paper's cost model (Equation 1).
+//
+//	go run ./examples/costplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"loggrep/internal/costmodel"
+	"loggrep/internal/harness"
+	"loggrep/internal/loggen"
+)
+
+func main() {
+	// Your workload: here, two production-style logs and an expectation of
+	// 200 queries over a 6-month retention.
+	logA, _ := loggen.ByName("A")
+	logG, _ := loggen.ByName("G")
+	logs := []loggen.LogType{logA, logG}
+	params := costmodel.Default()
+	params.Queries = 200
+
+	cfg := harness.Config{LinesPerLog: 10000, Seed: 3, QueryReps: 2}
+	rows, err := harness.RunFig7(logs, harness.CoreSystems(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Measured on a sample, extrapolated to $/TB over 6 months, 200 queries:")
+	harness.PrintFig8(os.Stdout, harness.Fig8(rows, params))
+
+	// How query-heavy would the workload have to be before an
+	// ElasticSearch-style index pays off?
+	fmt.Println()
+	harness.PrintCrossovers(os.Stdout, harness.Crossovers(rows, params))
+
+	// Sensitivity: sweep the query count.
+	fmt.Println("\nTotal $/TB vs query count:")
+	fmt.Printf("%10s%12s%12s%12s\n", "queries", "ggrep", "ES", "LG")
+	for _, q := range []float64{10, 100, 1000, 10000} {
+		p := params
+		p.Queries = q
+		f8 := harness.Fig8(rows, p)
+		var gg, es, lg float64
+		for _, r := range f8 {
+			switch r.System {
+			case "ggrep":
+				gg = r.Total()
+			case "ES":
+				es = r.Total()
+			case "LG":
+				lg = r.Total()
+			}
+		}
+		fmt.Printf("%10.0f%12.2f%12.2f%12.2f\n", q, gg, es, lg)
+	}
+}

@@ -1,0 +1,58 @@
+// Debug session: the near-line debugging workflow the paper targets (§1,
+// §6.3 refining mode). An engineer narrows an incident down by refining a
+// query clause by clause; the Query Cache makes re-executed commands free.
+//
+//	go run ./examples/debugsession
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loggrep"
+	"loggrep/internal/loggen"
+)
+
+func main() {
+	lt, _ := loggen.ByName("G") // chunk-server log with trace ids
+	block := lt.Block(7, 40000)
+	data := loggrep.Compress(block, loggrep.DefaultOptions())
+	store, err := loggrep.Open(data, loggrep.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("incident: chunk reads slow on one SATA disk — refining:")
+	session := store.NewSession()
+	var final *loggrep.Result
+	for _, clause := range []string{
+		"Operation:ReadChunk",
+		"SATADiskId:7",
+		"From:tcp://10.187.23.45:3212",
+		"TraceId:3615b60b169820bf160d4acd7b8b8732",
+	} {
+		start := time.Now()
+		res, err := session.Refine(clause)
+		if err != nil {
+			log.Fatal(err)
+		}
+		final = res
+		fmt.Printf("  %-110s -> %6d hits, %5d capsules, %8s\n",
+			session.Command(), len(res.Lines), res.Decompressions, time.Since(start).Round(time.Microsecond))
+	}
+
+	// Stepping back revisits the previous query — served from the cache.
+	start := time.Now()
+	res, err := session.Back()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("back to %q: %d hits in %s (%d capsules — query cache)\n",
+		session.Command(), len(res.Lines), time.Since(start).Round(time.Microsecond), res.Decompressions)
+
+	// The final answer, reconstructed exactly.
+	for i := range final.Lines {
+		fmt.Printf("culprit entry %d: %s\n", final.Lines[i]+1, final.Entries[i])
+	}
+}

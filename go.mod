@@ -1,0 +1,3 @@
+module loggrep
+
+go 1.22

@@ -1,0 +1,506 @@
+// Package archive stores a log stream as a sequence of independently
+// compressed CapsuleBox blocks, the way the paper's production setting
+// works (§2: applications write raw logs into 64 MB blocks; each block is
+// compressed in the background and queried independently).
+//
+// The archive extends the paper's Capsule-stamp idea one level up: every
+// block carries a block stamp (character-type mask plus maximal line
+// length over all its entries), so a query fragment that cannot occur in a
+// block skips it without even decoding the block's metadata. Compression
+// of blocks and query execution over blocks both parallelize across
+// goroutines — the "scale out" direction §8 names as future work.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"loggrep/internal/core"
+	"loggrep/internal/query"
+	"loggrep/internal/rtpattern"
+)
+
+// Magic identifies an archive stream.
+const Magic = "LGRPARC1"
+
+// ErrCorrupt reports an undecodable archive.
+var ErrCorrupt = errors.New("archive: corrupt archive")
+
+// Options configures a Writer.
+type Options struct {
+	// Core configures per-block compression.
+	Core core.Options
+	// BlockBytes is the raw-size threshold at which a block is cut
+	// (at a line boundary). The paper uses 64 MB; tests use less.
+	BlockBytes int
+	// Workers is the number of concurrent block compressors
+	// (default: GOMAXPROCS).
+	Workers int
+}
+
+// DefaultOptions mirrors the production setting.
+func DefaultOptions() Options {
+	return Options{Core: core.DefaultOptions(), BlockBytes: 64 << 20}
+}
+
+// blockMeta is the per-block frame header.
+type blockMeta struct {
+	numLines int
+	rawBytes int
+	stamp    rtpattern.Stamp
+}
+
+// Writer cuts a raw log stream into blocks and compresses them
+// concurrently, writing frames in order.
+type Writer struct {
+	w    io.Writer
+	opts Options
+
+	buf  []byte
+	seq  int
+	jobs chan job
+	done chan result
+	errs chan error
+
+	mu       sync.Mutex
+	pending  map[int][]byte // seq -> frame, reordering buffer
+	next     int
+	werr     error
+	closed   bool
+	wg       sync.WaitGroup
+	collDone chan struct{}
+}
+
+type job struct {
+	seq   int
+	block []byte
+}
+
+type result struct {
+	seq   int
+	frame []byte
+}
+
+// NewWriter starts a concurrent archive writer. Close must be called to
+// flush the final partial block and the terminator.
+func NewWriter(w io.Writer, opts Options) (*Writer, error) {
+	if opts.BlockBytes <= 0 {
+		opts.BlockBytes = DefaultOptions().BlockBytes
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return nil, err
+	}
+	aw := &Writer{
+		w:        w,
+		opts:     opts,
+		jobs:     make(chan job, opts.Workers),
+		done:     make(chan result, opts.Workers),
+		pending:  make(map[int][]byte),
+		collDone: make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		aw.wg.Add(1)
+		go aw.worker()
+	}
+	go aw.collector()
+	return aw, nil
+}
+
+func (aw *Writer) worker() {
+	defer aw.wg.Done()
+	for j := range aw.jobs {
+		box := core.Compress(j.block, aw.opts.Core)
+		meta := blockMeta{
+			numLines: countLines(j.block),
+			rawBytes: len(j.block),
+			stamp:    blockStamp(j.block),
+		}
+		aw.done <- result{seq: j.seq, frame: encodeFrame(meta, box)}
+	}
+}
+
+// collector writes finished frames in sequence order.
+func (aw *Writer) collector() {
+	defer close(aw.collDone)
+	for r := range aw.done {
+		aw.mu.Lock()
+		aw.pending[r.seq] = r.frame
+		for {
+			frame, ok := aw.pending[aw.next]
+			if !ok {
+				break
+			}
+			delete(aw.pending, aw.next)
+			if aw.werr == nil {
+				if _, err := aw.w.Write(frame); err != nil {
+					aw.werr = err
+				}
+			}
+			aw.next++
+		}
+		aw.mu.Unlock()
+	}
+}
+
+func countLines(block []byte) int {
+	n := bytes.Count(block, []byte{'\n'})
+	if len(block) > 0 && block[len(block)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// blockStamp folds every line of the block into a block-level stamp.
+func blockStamp(block []byte) rtpattern.Stamp {
+	var st rtpattern.Stamp
+	st.TypeMask = rtpattern.TypeMaskOf(string(block))
+	maxLine, cur := 0, 0
+	for _, b := range block {
+		if b == '\n' {
+			if cur > maxLine {
+				maxLine = cur
+			}
+			cur = 0
+			continue
+		}
+		cur++
+	}
+	if cur > maxLine {
+		maxLine = cur
+	}
+	st.MaxLen = maxLine
+	return st
+}
+
+func encodeFrame(meta blockMeta, box []byte) []byte {
+	frame := binary.AppendUvarint(nil, uint64(len(box)))
+	frame = append(frame, box...)
+	frame = binary.AppendUvarint(frame, uint64(meta.numLines))
+	frame = binary.AppendUvarint(frame, uint64(meta.rawBytes))
+	frame = append(frame, meta.stamp.TypeMask)
+	frame = binary.AppendUvarint(frame, uint64(meta.stamp.MaxLen))
+	return frame
+}
+
+// Write buffers raw log bytes, cutting and dispatching full blocks at line
+// boundaries.
+func (aw *Writer) Write(p []byte) (int, error) {
+	aw.mu.Lock()
+	err := aw.werr
+	closed := aw.closed
+	aw.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if closed {
+		return 0, errors.New("archive: write after Close")
+	}
+	aw.buf = append(aw.buf, p...)
+	for len(aw.buf) >= aw.opts.BlockBytes {
+		cut := bytes.LastIndexByte(aw.buf[:aw.opts.BlockBytes], '\n')
+		if cut < 0 {
+			// No newline within the window: wait for one (a single
+			// entry larger than the block size is pathological).
+			nl := bytes.IndexByte(aw.buf[aw.opts.BlockBytes:], '\n')
+			if nl < 0 {
+				break
+			}
+			cut = aw.opts.BlockBytes + nl
+		}
+		block := make([]byte, cut+1)
+		copy(block, aw.buf[:cut+1])
+		aw.buf = aw.buf[cut+1:]
+		aw.jobs <- job{seq: aw.seq, block: block}
+		aw.seq++
+	}
+	return len(p), nil
+}
+
+// Close flushes the final partial block, waits for all workers and writes
+// the terminator.
+func (aw *Writer) Close() error {
+	aw.mu.Lock()
+	if aw.closed {
+		aw.mu.Unlock()
+		return nil
+	}
+	aw.closed = true
+	aw.mu.Unlock()
+
+	if len(aw.buf) > 0 {
+		aw.jobs <- job{seq: aw.seq, block: aw.buf}
+		aw.seq++
+		aw.buf = nil
+	}
+	close(aw.jobs)
+	aw.wg.Wait()
+	close(aw.done)
+	<-aw.collDone // every frame flushed (or a write error latched)
+	aw.mu.Lock()
+	err := aw.werr
+	aw.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = aw.w.Write(binary.AppendUvarint(nil, 0)) // terminator
+	return err
+}
+
+// Compress is the convenience one-shot form: the whole stream in memory.
+func Compress(stream []byte, opts Options) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(stream); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// block is one opened archive block.
+type block struct {
+	box      []byte
+	meta     blockMeta
+	lineOff  int // global line number of the block's first line
+	storeMu  sync.Mutex
+	store    *core.Store
+	storeErr error
+}
+
+// openStore lazily opens the block's CapsuleBox.
+func (b *block) openStore() (*core.Store, error) {
+	b.storeMu.Lock()
+	defer b.storeMu.Unlock()
+	if b.store == nil && b.storeErr == nil {
+		b.store, b.storeErr = core.Open(b.box, core.QueryOptions{})
+	}
+	return b.store, b.storeErr
+}
+
+// Archive is an opened multi-block archive.
+type Archive struct {
+	blocks   []*block
+	numLines int
+	rawBytes int
+	// BlocksSkipped counts blocks eliminated by block stamps across all
+	// queries (harness statistic).
+	BlocksSkipped int
+}
+
+// Open parses an archive produced by Writer/Compress.
+func Open(data []byte) (*Archive, error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	a := &Archive{}
+	pos := len(Magic)
+	for {
+		boxLen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame length", ErrCorrupt)
+		}
+		pos += n
+		if boxLen == 0 {
+			break // terminator
+		}
+		if uint64(len(data)-pos) < boxLen {
+			return nil, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+		}
+		b := &block{box: data[pos : pos+int(boxLen)], lineOff: a.numLines}
+		pos += int(boxLen)
+		uv := func() (uint64, error) {
+			v, n := binary.Uvarint(data[pos:])
+			if n <= 0 {
+				return 0, fmt.Errorf("%w: bad frame meta", ErrCorrupt)
+			}
+			pos += n
+			return v, nil
+		}
+		numLines, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		rawBytes, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: bad frame stamp", ErrCorrupt)
+		}
+		mask := data[pos]
+		pos++
+		maxLen, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		b.meta = blockMeta{
+			numLines: int(numLines),
+			rawBytes: int(rawBytes),
+			stamp:    rtpattern.Stamp{TypeMask: mask, MaxLen: int(maxLen)},
+		}
+		a.numLines += b.meta.numLines
+		a.rawBytes += b.meta.rawBytes
+		a.blocks = append(a.blocks, b)
+	}
+	return a, nil
+}
+
+// NumBlocks returns the block count.
+func (a *Archive) NumBlocks() int { return len(a.blocks) }
+
+// NumLines returns the total entry count.
+func (a *Archive) NumLines() int { return a.numLines }
+
+// RawBytes returns the total raw size the archive was built from.
+func (a *Archive) RawBytes() int { return a.rawBytes }
+
+// Result is an archive query result with global line numbers.
+type Result struct {
+	Lines   []int
+	Entries []string
+}
+
+// mayMatch applies the block stamp: every fragment of every search string
+// in the expression must be admissible for the block to need a look. A NOT
+// operand cannot prune (its entries may contain anything).
+func mayMatch(e query.Expr, st rtpattern.Stamp) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return mayMatch(x.L, st) && mayMatch(x.R, st)
+	case *query.Or:
+		return mayMatch(x.L, st) || mayMatch(x.R, st)
+	case *query.Not:
+		return true
+	case *query.Search:
+		for _, frag := range x.Fragments {
+			if !st.Admits(frag) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// Query runs a command over all blocks, parallel across workers, and
+// merges results in global line order.
+func (a *Archive) Query(command string, workers int) (*Result, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type blockRes struct {
+		idx int
+		res *core.Result
+		err error
+	}
+	var (
+		wg   sync.WaitGroup
+		work = make(chan int)
+		out  = make(chan blockRes, len(a.blocks))
+	)
+	skipped := 0
+	var skipMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				b := a.blocks[idx]
+				if !mayMatch(expr, b.meta.stamp) {
+					skipMu.Lock()
+					skipped++
+					skipMu.Unlock()
+					continue
+				}
+				st, err := b.openStore()
+				if err != nil {
+					out <- blockRes{idx: idx, err: err}
+					continue
+				}
+				res, err := st.Query(command)
+				out <- blockRes{idx: idx, res: res, err: err}
+			}
+		}()
+	}
+	for idx := range a.blocks {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	close(out)
+
+	byBlock := make([]*core.Result, len(a.blocks))
+	for r := range out {
+		if r.err != nil {
+			return nil, r.err
+		}
+		byBlock[r.idx] = r.res
+	}
+	a.BlocksSkipped += skipped
+
+	res := &Result{}
+	for idx, br := range byBlock {
+		if br == nil {
+			continue
+		}
+		off := a.blocks[idx].lineOff
+		for i, line := range br.Lines {
+			res.Lines = append(res.Lines, off+line)
+			res.Entries = append(res.Entries, br.Entries[i])
+		}
+	}
+	return res, nil
+}
+
+// Entry reconstructs one entry by its global line number.
+func (a *Archive) Entry(line int) (string, error) {
+	if line < 0 || line >= a.numLines {
+		return "", fmt.Errorf("archive: line %d out of range", line)
+	}
+	// Blocks are ordered by lineOff; binary search would do, but block
+	// counts are small.
+	for _, b := range a.blocks {
+		if line < b.lineOff+b.meta.numLines {
+			st, err := b.openStore()
+			if err != nil {
+				return "", err
+			}
+			return st.ReconstructLine(line - b.lineOff)
+		}
+	}
+	return "", fmt.Errorf("archive: line %d beyond blocks", line)
+}
+
+// ReconstructAll restores the entire raw stream, block by block.
+func (a *Archive) ReconstructAll() ([]string, error) {
+	out := make([]string, 0, a.numLines)
+	for _, b := range a.blocks {
+		st, err := b.openStore()
+		if err != nil {
+			return nil, err
+		}
+		lines, err := st.ReconstructAll()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lines...)
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"loggrep/internal/loggen"
+	"loggrep/internal/logparse"
+	"loggrep/internal/query"
+)
+
+func testOptions(blockBytes int) Options {
+	o := DefaultOptions()
+	o.BlockBytes = blockBytes
+	o.Workers = 4
+	return o
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	lt, _ := loggen.ByName("A")
+	stream := lt.Block(9, 6000)
+	data, err := Compress(stream, testOptions(100_000)) // several blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() < 3 {
+		t.Fatalf("blocks = %d, want several", a.NumBlocks())
+	}
+	if a.RawBytes() != len(stream) {
+		t.Fatalf("raw bytes = %d, want %d", a.RawBytes(), len(stream))
+	}
+	want := logparse.SplitLines(stream)
+	if a.NumLines() != len(want) {
+		t.Fatalf("lines = %d, want %d", a.NumLines(), len(want))
+	}
+	got, err := a.ReconstructAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestArchiveQueryEquivalence(t *testing.T) {
+	lt, _ := loggen.ByName("G")
+	stream := lt.Block(4, 8000)
+	lines := logparse.SplitLines(stream)
+	data, err := Compress(stream, testOptions(150_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		lt.Query,
+		"Operation:WriteChunk",
+		"ERROR OR TraceId:3615*",
+		"NOT INFO",
+		"heartbeat AND node-7",
+	}
+	for _, cmd := range queries {
+		for _, workers := range []int{1, 4} {
+			res, err := a.Query(cmd, workers)
+			if err != nil {
+				t.Fatalf("query %q: %v", cmd, err)
+			}
+			want := oracle(t, lines, cmd)
+			if len(res.Lines) != len(want) {
+				t.Fatalf("query %q (workers=%d): %d matches, want %d", cmd, workers, len(res.Lines), len(want))
+			}
+			for i := range want {
+				if res.Lines[i] != want[i] || res.Entries[i] != lines[want[i]] {
+					t.Fatalf("query %q: mismatch at %d", cmd, i)
+				}
+			}
+		}
+	}
+}
+
+func oracle(t *testing.T, lines []string, command string) []int {
+	t.Helper()
+	expr, err := query.Parse(command)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var match func(e query.Expr, l string) bool
+	match = func(e query.Expr, l string) bool {
+		switch x := e.(type) {
+		case *query.And:
+			return match(x.L, l) && match(x.R, l)
+		case *query.Or:
+			return match(x.L, l) || match(x.R, l)
+		case *query.Not:
+			return !match(x.X, l)
+		case *query.Search:
+			return x.MatchEntry(l)
+		}
+		return false
+	}
+	var out []int
+	for i, l := range lines {
+		if match(expr, l) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// A fragment whose character classes are absent from a block must skip the
+// block without opening it.
+func TestArchiveBlockStampSkipping(t *testing.T) {
+	// Two very different blocks: digits-only lines, then letters-only.
+	var b bytes.Buffer
+	w, err := NewWriter(&b, testOptions(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digits := strings.Repeat("123 456 789\n", 6000)  // > one block
+	letters := strings.Repeat("alpha beta c\n", 500) // final partial block
+	if _, err := w.Write([]byte(digits)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(letters)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() < 2 {
+		t.Fatalf("blocks = %d", a.NumBlocks())
+	}
+	res, err := a.Query("alpha", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != 500 {
+		t.Fatalf("matches = %d, want 500", len(res.Lines))
+	}
+	if a.BlocksSkipped == 0 {
+		t.Fatal("no blocks skipped by block stamps")
+	}
+	// The digit blocks must never have been opened.
+	for _, blk := range a.blocks[:a.NumBlocks()-1] {
+		if blk.store != nil {
+			t.Fatal("digit block was opened despite stamp mismatch")
+		}
+	}
+}
+
+func TestArchiveEmpty(t *testing.T) {
+	data, err := Compress(nil, testOptions(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() != 0 || a.NumLines() != 0 {
+		t.Fatalf("empty archive: %d blocks %d lines", a.NumBlocks(), a.NumLines())
+	}
+	res, err := a.Query("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != 0 {
+		t.Fatal("match in empty archive")
+	}
+}
+
+func TestArchiveCorrupt(t *testing.T) {
+	if _, err := Open(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Open([]byte("WRONGMAG rest")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	data, err := Compress([]byte("hello world 1\nhello world 2\n"), testOptions(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(Magic); cut < len(data); cut += 2 {
+		if _, err := Open(data[:cut]); err == nil {
+			// Truncation before the terminator must error.
+			if cut < len(data)-1 {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	var b bytes.Buffer
+	w, err := NewWriter(&b, testOptions(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x\n")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOError(t *testing.T) {
+	w, err := NewWriter(&failingWriter{after: 1}, testOptions(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("some log line with text\n", 500)
+	w.Write([]byte(big))
+	if err := w.Close(); err == nil {
+		t.Fatal("io error not propagated")
+	}
+}
+
+func TestBlockCutRespectsLines(t *testing.T) {
+	lt, _ := loggen.ByName("D")
+	stream := lt.Block(2, 3000)
+	data, err := Compress(stream, testOptions(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, blk := range a.blocks {
+		total += blk.meta.numLines
+	}
+	if total != len(logparse.SplitLines(stream)) {
+		t.Fatalf("line counts across blocks = %d", total)
+	}
+}
+
+func TestArchiveEntry(t *testing.T) {
+	lt, _ := loggen.ByName("S")
+	stream := lt.Block(8, 4000)
+	lines := logparse.SplitLines(stream)
+	data, err := Compress(stream, testOptions(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []int{0, 1, 1999, len(lines) - 1} {
+		got, err := a.Entry(line)
+		if err != nil {
+			t.Fatalf("Entry(%d): %v", line, err)
+		}
+		if got != lines[line] {
+			t.Fatalf("Entry(%d) = %q, want %q", line, got, lines[line])
+		}
+	}
+	if _, err := a.Entry(-1); err == nil {
+		t.Fatal("negative line accepted")
+	}
+	if _, err := a.Entry(len(lines)); err == nil {
+		t.Fatal("past-end line accepted")
+	}
+}

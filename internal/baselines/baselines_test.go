@@ -1,0 +1,228 @@
+// Package baselines_test cross-checks every baseline against the naive
+// oracle on generated workloads: all systems must return exactly the
+// entries a grep over the raw block returns.
+package baselines_test
+
+import (
+	"strings"
+	"testing"
+
+	"loggrep/internal/baselines/clp"
+	"loggrep/internal/baselines/eslite"
+	"loggrep/internal/baselines/ggrep"
+	"loggrep/internal/loggen"
+	"loggrep/internal/logparse"
+	"loggrep/internal/query"
+)
+
+type querier interface {
+	Query(command string) ([]int, []string, error)
+}
+
+type system struct {
+	name     string
+	compress func([]byte) ([]byte, error)
+	open     func([]byte) (querier, error)
+}
+
+func systems() []system {
+	return []system{
+		{"ggrep", ggrep.Compress, func(d []byte) (querier, error) { return ggrep.Open(d) }},
+		{"clp", clp.Compress, func(d []byte) (querier, error) { return clp.Open(d) }},
+		{"eslite", eslite.Index, func(d []byte) (querier, error) { return eslite.Open(d) }},
+	}
+}
+
+func naive(t *testing.T, lines []string, command string) []int {
+	t.Helper()
+	expr, err := query.Parse(command)
+	if err != nil {
+		t.Fatalf("parse %q: %v", command, err)
+	}
+	var match func(e query.Expr, l string) bool
+	match = func(e query.Expr, l string) bool {
+		switch x := e.(type) {
+		case *query.And:
+			return match(x.L, l) && match(x.R, l)
+		case *query.Or:
+			return match(x.L, l) || match(x.R, l)
+		case *query.Not:
+			return !match(x.X, l)
+		case *query.Search:
+			return x.MatchEntry(l)
+		}
+		return false
+	}
+	var out []int
+	for i, l := range lines {
+		if match(expr, l) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestBaselinesMatchOracle(t *testing.T) {
+	for _, lt := range loggen.All() {
+		block := lt.Block(13, 1500)
+		lines := logparse.SplitLines(block)
+		for _, sys := range systems() {
+			t.Run(lt.Name+"/"+sys.name, func(t *testing.T) {
+				data, err := sys.compress(block)
+				if err != nil {
+					t.Fatalf("compress: %v", err)
+				}
+				q, err := sys.open(data)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				gotLines, gotEntries, err := q.Query(lt.Query)
+				if err != nil {
+					t.Fatalf("query %q: %v", lt.Query, err)
+				}
+				want := naive(t, lines, lt.Query)
+				if len(gotLines) != len(want) {
+					t.Fatalf("query %q: got %d lines, want %d", lt.Query, len(gotLines), len(want))
+				}
+				for i := range want {
+					if gotLines[i] != want[i] {
+						t.Fatalf("query %q: line %d = %d, want %d", lt.Query, i, gotLines[i], want[i])
+					}
+					if gotEntries[i] != lines[want[i]] {
+						t.Fatalf("query %q: entry %d = %q, want %q", lt.Query, i, gotEntries[i], lines[want[i]])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBaselinesExtraQueries(t *testing.T) {
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(3, 1000)
+	lines := logparse.SplitLines(block)
+	queries := []string{
+		"ERROR",
+		"NOT ERROR",
+		"ERROR OR WARNING",
+		"reqId:5E9D* AND state:REQ_ST_CLOSED",
+		"11.187.1.*",
+		"nosuchthing",
+		"code:20050 NOT state:REQ_ST_IDLE",
+	}
+	for _, sys := range systems() {
+		data, err := sys.compress(block)
+		if err != nil {
+			t.Fatalf("%s compress: %v", sys.name, err)
+		}
+		q, err := sys.open(data)
+		if err != nil {
+			t.Fatalf("%s open: %v", sys.name, err)
+		}
+		for _, cmd := range queries {
+			gotLines, _, err := q.Query(cmd)
+			if err != nil {
+				t.Fatalf("%s query %q: %v", sys.name, cmd, err)
+			}
+			want := naive(t, lines, cmd)
+			if len(gotLines) != len(want) {
+				t.Fatalf("%s query %q: got %d, want %d", sys.name, cmd, len(gotLines), len(want))
+			}
+			for i := range want {
+				if gotLines[i] != want[i] {
+					t.Fatalf("%s query %q: mismatch at %d", sys.name, cmd, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionRatioOrdering(t *testing.T) {
+	// Expected shape (paper §6.1): averaged over the workloads, CLP
+	// compresses at least as well as gzip, and the ES index is far larger
+	// than either. (Our CLP-lite's second stage is flate with a 32 KB
+	// window standing in for zstd, so per-log results vary ±10%.)
+	var gzSum, clSum, esSum float64
+	for _, name := range []string{"A", "D", "G", "S", "Hdfs", "Windows"} {
+		lt, ok := loggen.ByName(name)
+		if !ok {
+			t.Fatalf("log %s missing", name)
+		}
+		block := lt.Block(5, 4000)
+		gz, _ := ggrep.Compress(block)
+		cl, _ := clp.Compress(block)
+		es, _ := eslite.Index(block)
+		raw := float64(len(block))
+		gzSum += raw / float64(len(gz))
+		clSum += raw / float64(len(cl))
+		esSum += raw / float64(len(es))
+		t.Logf("%-8s raw=%d gzip=%d clp=%d es=%d", name, len(block), len(gz), len(cl), len(es))
+	}
+	if clSum < gzSum*0.95 {
+		t.Errorf("CLP average ratio (%.2f) should be at least on par with gzip (%.2f)", clSum/6, gzSum/6)
+	}
+	if esSum*3 > clSum {
+		t.Errorf("ES average ratio (%.2f) should be far below CLP (%.2f)", esSum/6, clSum/6)
+	}
+}
+
+func TestCLPSegmentFiltering(t *testing.T) {
+	// A keyword hitting one rare dictionary value must scan only the
+	// segments holding it, not the whole archive.
+	var lines []string
+	for i := 0; i < clp.SegmentLines*4; i++ {
+		lines = append(lines, "svc event common request done")
+	}
+	lines[10] = "svc event RAREWORD request done"
+	block := []byte(strings.Join(lines, "\n") + "\n")
+	data, err := clp.Compress(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := clp.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.Query("RAREWORD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("got %v", got)
+	}
+	if st.SegmentsScanned > 1 {
+		t.Errorf("scanned %d segments, want 1", st.SegmentsScanned)
+	}
+}
+
+func TestGgrepRejectsGarbage(t *testing.T) {
+	if _, err := ggrep.Open([]byte("not gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := clp.Open([]byte("not clp")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := eslite.Open([]byte("not es")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEmptyBlocks(t *testing.T) {
+	for _, sys := range systems() {
+		data, err := sys.compress(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.name, err)
+		}
+		q, err := sys.open(data)
+		if err != nil {
+			t.Fatalf("%s open empty: %v", sys.name, err)
+		}
+		lines, _, err := q.Query("anything")
+		if err != nil {
+			t.Fatalf("%s query empty: %v", sys.name, err)
+		}
+		if len(lines) != 0 {
+			t.Fatalf("%s matched in empty block", sys.name)
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package clp is a CLP-style baseline (Rodrigues et al., OSDI'21), the
+// state of the art the paper compares against (§2.1).
+//
+// Like CLP, it parses entries into log types (templates) and variables,
+// stores encoded entries in their original order inside fixed-size
+// segments, dictionary-encodes variables that contain letters, compresses
+// each segment with a fast second-stage compressor (stdlib DEFLATE,
+// standing in for zstd), and builds inverted indexes from log types and
+// dictionary values to segments. A query uses the indexes to filter
+// segments, then decompresses and scans the survivors. The filtering
+// granularity — whole segments of entries — is exactly what LogGrep's
+// Capsules refine.
+package clp
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/logparse"
+	"loggrep/internal/query"
+)
+
+// SegmentLines is how many encoded entries form one compressed segment.
+const SegmentLines = 4096
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("clp: corrupt archive")
+
+const archiveMagic = "CLPL1"
+
+// hasLetter decides dictionary membership: CLP dictionary variables are
+// the ones with alphabetic content; purely numeric variables are encoded
+// inline and cannot be filtered by index.
+func hasLetter(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// isPlainNumber reports whether v is a decimal integer that round-trips
+// through width-preserving formatting (fits in uint64).
+func isPlainNumber(v string) bool {
+	if len(v) == 0 || len(v) > 19 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] < '0' || v[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func mustParseUint(v string) uint64 {
+	var n uint64
+	for i := 0; i < len(v); i++ {
+		n = n*10 + uint64(v[i]-'0')
+	}
+	return n
+}
+
+// Compress builds a CLP-style archive from a raw block.
+func Compress(block []byte) ([]byte, error) {
+	parsed := logparse.Parse(block, logparse.DefaultOptions())
+
+	// Re-linearize: per line, (template id, variable values).
+	type encLine struct {
+		tmpl int
+		vars []string
+	}
+	lines := make([]encLine, parsed.NumLines)
+	templates := make([]string, 0, len(parsed.Groups))
+	for gi, g := range parsed.Groups {
+		templates = append(templates, g.Template.String())
+		for k, lineNo := range g.Lines {
+			vars := make([]string, len(g.Vars))
+			for v := range g.Vars {
+				vars[v] = g.Vars[v][k]
+			}
+			lines[lineNo] = encLine{tmpl: gi, vars: vars}
+		}
+	}
+	outlierTmpl := len(templates)
+	for i, lineNo := range parsed.OutlierLines {
+		lines[lineNo] = encLine{tmpl: outlierTmpl, vars: []string{parsed.Outliers[i]}}
+	}
+
+	// First pass: count letter-bearing values; only repeated ones are
+	// dictionary-encoded. Unique ids (trace ids, request ids) would bloat
+	// the dictionary for no dedup gain.
+	valCount := make(map[string]int)
+	for _, el := range lines {
+		for _, v := range el.vars {
+			if hasLetter(v) {
+				valCount[v]++
+			}
+		}
+	}
+
+	dict := make([]string, 0, 1024)
+	dictIDs := make(map[string]int)
+	numSegs := (parsed.NumLines + SegmentLines - 1) / SegmentLines
+	tmplSegs := make(map[int]*bitset.Set)
+	dictSegs := make([]*bitset.Set, 0, 1024)
+	// inlineLetterSegs marks segments holding letter-bearing values that
+	// were NOT dictionary-encoded; letter fragments must scan them too.
+	inlineLetterSegs := bitset.New(numSegs)
+
+	var segs [][]byte
+	var enc bytes.Buffer
+	var segBuf []byte
+	flush := func() error {
+		if enc.Len() == 0 {
+			return nil
+		}
+		var cbuf bytes.Buffer
+		w, err := flate.NewWriter(&cbuf, flate.BestCompression)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(enc.Bytes()); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		segs = append(segs, cbuf.Bytes())
+		enc.Reset()
+		return nil
+	}
+
+	for lineNo, el := range lines {
+		seg := lineNo / SegmentLines
+		if lineNo > 0 && lineNo%SegmentLines == 0 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		segBuf = binary.AppendUvarint(segBuf[:0], uint64(el.tmpl))
+		if s := tmplSegs[el.tmpl]; s == nil {
+			tmplSegs[el.tmpl] = bitset.New(numSegs)
+		}
+		tmplSegs[el.tmpl].Set(seg)
+		segBuf = binary.AppendUvarint(segBuf, uint64(len(el.vars)))
+		for _, v := range el.vars {
+			switch {
+			case hasLetter(v) && valCount[v] > 1:
+				id, ok := dictIDs[v]
+				if !ok {
+					id = len(dict)
+					dictIDs[v] = id
+					dict = append(dict, v)
+					dictSegs = append(dictSegs, bitset.New(numSegs))
+				}
+				segBuf = append(segBuf, 'D')
+				segBuf = binary.AppendUvarint(segBuf, uint64(id))
+				dictSegs[id].Set(seg)
+			case hasLetter(v):
+				inlineLetterSegs.Set(seg)
+				segBuf = append(segBuf, 'L')
+				segBuf = binary.AppendUvarint(segBuf, uint64(len(v)))
+				segBuf = append(segBuf, v...)
+			case isPlainNumber(v):
+				// CLP encodes numeric variables in binary.
+				segBuf = append(segBuf, 'N')
+				segBuf = binary.AppendUvarint(segBuf, uint64(len(v)))
+				segBuf = binary.AppendUvarint(segBuf, mustParseUint(v))
+			default:
+				segBuf = append(segBuf, 'L')
+				segBuf = binary.AppendUvarint(segBuf, uint64(len(v)))
+				segBuf = append(segBuf, v...)
+			}
+		}
+		enc.Write(segBuf)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	// Serialize: magic | meta (templates, dict, indexes) flate-compressed |
+	// segments.
+	var meta bytes.Buffer
+	writeUvarint(&meta, uint64(parsed.NumLines))
+	writeUvarint(&meta, uint64(len(templates)+1))
+	for _, t := range templates {
+		writeString(&meta, t)
+	}
+	writeString(&meta, "<outlier>")
+	writeUvarint(&meta, uint64(len(dict)))
+	for _, v := range dict {
+		writeString(&meta, v)
+	}
+	writeSegSets := func(sets []*bitset.Set) {
+		writeUvarint(&meta, uint64(len(sets)))
+		for _, s := range sets {
+			rows := s.Rows()
+			writeUvarint(&meta, uint64(len(rows)))
+			prev := 0
+			for _, r := range rows {
+				writeUvarint(&meta, uint64(r-prev))
+				prev = r
+			}
+		}
+	}
+	tmplSets := make([]*bitset.Set, len(templates)+1)
+	for i := range tmplSets {
+		if s := tmplSegs[i]; s != nil {
+			tmplSets[i] = s
+		} else {
+			tmplSets[i] = bitset.New(numSegs)
+		}
+	}
+	writeSegSets(tmplSets)
+	writeSegSets(dictSegs)
+	writeSegSets([]*bitset.Set{inlineLetterSegs})
+
+	var metaComp bytes.Buffer
+	mw, err := flate.NewWriter(&metaComp, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	mw.Write(meta.Bytes())
+	mw.Close()
+
+	out := []byte(archiveMagic)
+	out = binary.AppendUvarint(out, uint64(metaComp.Len()))
+	out = append(out, metaComp.Bytes()...)
+	out = binary.AppendUvarint(out, uint64(len(segs)))
+	for _, s := range segs {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+// Store is an opened CLP archive.
+type Store struct {
+	numLines         int
+	templates        []string
+	dict             []string
+	tmplSegs         []*bitset.Set
+	dictSegs         []*bitset.Set
+	inlineLetterSegs *bitset.Set
+	segs             [][]byte
+	numSegs          int
+	// SegmentsScanned counts segment decompressions (harness statistic).
+	SegmentsScanned int
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil || r.pos+n > len(r.b) {
+		r.err = ErrCorrupt
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// Open parses an archive produced by Compress.
+func Open(data []byte) (*Store, error) {
+	if len(data) < len(archiveMagic) || string(data[:len(archiveMagic)]) != archiveMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &reader{b: data, pos: len(archiveMagic)}
+	mlen := int(r.uvarint())
+	if r.err != nil || r.pos+mlen > len(data) {
+		return nil, ErrCorrupt
+	}
+	metaRaw, err := io.ReadAll(flate.NewReader(bytes.NewReader(data[r.pos : r.pos+mlen])))
+	if err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	r.pos += mlen
+
+	m := &reader{b: metaRaw}
+	st := &Store{numLines: int(m.uvarint())}
+	nt := int(m.uvarint())
+	if m.err != nil || nt > len(metaRaw) {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < nt; i++ {
+		st.templates = append(st.templates, m.str())
+	}
+	nd := int(m.uvarint())
+	if m.err != nil || nd > len(metaRaw) {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < nd; i++ {
+		st.dict = append(st.dict, m.str())
+	}
+	st.numSegs = (st.numLines + SegmentLines - 1) / SegmentLines
+	readSets := func() ([]*bitset.Set, error) {
+		n := int(m.uvarint())
+		if m.err != nil || n > len(metaRaw) {
+			return nil, ErrCorrupt
+		}
+		sets := make([]*bitset.Set, n)
+		for i := range sets {
+			sets[i] = bitset.New(st.numSegs)
+			cnt := int(m.uvarint())
+			prev := 0
+			for j := 0; j < cnt; j++ {
+				prev += int(m.uvarint())
+				sets[i].Set(prev)
+			}
+		}
+		return sets, m.err
+	}
+	if st.tmplSegs, err = readSets(); err != nil {
+		return nil, err
+	}
+	if st.dictSegs, err = readSets(); err != nil {
+		return nil, err
+	}
+	inline, err := readSets()
+	if err != nil || len(inline) != 1 {
+		return nil, ErrCorrupt
+	}
+	st.inlineLetterSegs = inline[0]
+
+	ns := int(r.uvarint())
+	if r.err != nil || ns != st.numSegs && !(st.numLines == 0 && ns == 0) {
+		return nil, fmt.Errorf("%w: segment count", ErrCorrupt)
+	}
+	for i := 0; i < ns; i++ {
+		sl := int(r.uvarint())
+		if r.err != nil || r.pos+sl > len(data) {
+			return nil, ErrCorrupt
+		}
+		st.segs = append(st.segs, data[r.pos:r.pos+sl])
+		r.pos += sl
+	}
+	return st, nil
+}
+
+// candidateSegs returns the segments that may contain a fragment: segments
+// whose templates' static text contains it, plus segments holding a
+// dictionary value containing it. Letter-free fragments may hide in inline
+// variables, which have no index — all segments are candidates then.
+func (st *Store) candidateSegs(frag string) *bitset.Set {
+	cands := bitset.New(st.numSegs)
+	if !hasLetter(frag) {
+		return cands.Not()
+	}
+	// Segments with inline letter-bearing values might contain the
+	// fragment without any index entry.
+	cands.Or(st.inlineLetterSegs)
+	for ti, t := range st.templates {
+		if strings.Contains(t, frag) {
+			cands.Or(st.tmplSegs[ti])
+		}
+	}
+	for di, v := range st.dict {
+		if strings.Contains(v, frag) {
+			cands.Or(st.dictSegs[di])
+		}
+	}
+	return cands
+}
+
+// Query runs a grep-like command: index-filter segments, decompress and
+// scan survivors, verify exact phrase semantics.
+func (st *Store) Query(command string) ([]int, []string, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Decompressed segment cache for this query.
+	segCache := make(map[int][]string)
+	loadSeg := func(si int) ([]string, error) {
+		if s, ok := segCache[si]; ok {
+			return s, nil
+		}
+		lines, err := st.decodeSeg(si)
+		if err != nil {
+			return nil, err
+		}
+		st.SegmentsScanned++
+		segCache[si] = lines
+		return lines, nil
+	}
+
+	var evalErr error
+	set := query.Eval(expr, st.numLines, func(s *query.Search) *bitset.Set {
+		res := bitset.New(st.numLines)
+		cands := bitset.NewFull(st.numSegs)
+		for _, frag := range s.Fragments {
+			cands.And(st.candidateSegs(frag))
+		}
+		cands.ForEach(func(si int) bool {
+			lines, err := loadSeg(si)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			for k, l := range lines {
+				if s.MatchEntry(l) {
+					res.Set(si*SegmentLines + k)
+				}
+			}
+			return true
+		})
+		return res
+	})
+	if evalErr != nil {
+		return nil, nil, evalErr
+	}
+	var outLines []int
+	var outEntries []string
+	var rerr error
+	set.ForEach(func(line int) bool {
+		lines, err := loadSeg(line / SegmentLines)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		outLines = append(outLines, line)
+		outEntries = append(outEntries, lines[line%SegmentLines])
+		return true
+	})
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	return outLines, outEntries, nil
+}
+
+// decodeSeg decompresses and reconstructs one segment's entries.
+func (st *Store) decodeSeg(si int) ([]string, error) {
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(st.segs[si])))
+	if err != nil {
+		return nil, fmt.Errorf("%w: segment %d: %v", ErrCorrupt, si, err)
+	}
+	r := &reader{b: raw}
+	var lines []string
+	for r.pos < len(raw) {
+		ti := int(r.uvarint())
+		nv := int(r.uvarint())
+		if r.err != nil || ti >= len(st.templates) || nv > len(raw) {
+			return nil, ErrCorrupt
+		}
+		vars := make([]string, nv)
+		for v := 0; v < nv; v++ {
+			if r.pos >= len(raw) {
+				return nil, ErrCorrupt
+			}
+			tag := raw[r.pos]
+			r.pos++
+			switch tag {
+			case 'D':
+				id := int(r.uvarint())
+				if r.err != nil || id >= len(st.dict) {
+					return nil, ErrCorrupt
+				}
+				vars[v] = st.dict[id]
+			case 'N':
+				width := int(r.uvarint())
+				num := r.uvarint()
+				if r.err != nil || width > 20 {
+					return nil, ErrCorrupt
+				}
+				vars[v] = fmt.Sprintf("%0*d", width, num)
+			case 'L':
+				vars[v] = r.str()
+			default:
+				return nil, ErrCorrupt
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		lines = append(lines, fillTemplate(st.templates[ti], vars))
+	}
+	return lines, nil
+}
+
+// fillTemplate substitutes variables into a "<*>"-style template string.
+func fillTemplate(t string, vars []string) string {
+	if t == "<outlier>" && len(vars) == 1 {
+		return vars[0]
+	}
+	var b strings.Builder
+	vi := 0
+	for {
+		idx := strings.Index(t, "<*>")
+		if idx < 0 {
+			b.WriteString(t)
+			break
+		}
+		b.WriteString(t[:idx])
+		if vi < len(vars) {
+			b.WriteString(vars[vi])
+			vi++
+		}
+		t = t[idx+3:]
+	}
+	return b.String()
+}

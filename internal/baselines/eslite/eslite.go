@@ -1,0 +1,322 @@
+// Package eslite is an ElasticSearch-style baseline: a full inverted index
+// (term → posting list of line ids) over tokenized entries plus the stored
+// source documents in compressed segments.
+//
+// It models ES's defining trade-off from the paper (§6): query latency is
+// low because the index answers most of the work, but the index plus stored
+// fields make the "compressed" size large — often worse than the raw data
+// — and building the index makes ingestion slow.
+package eslite
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/logparse"
+	"loggrep/internal/query"
+)
+
+// StoredSegLines is how many source lines are stored per compressed chunk,
+// mirroring ES's stored-field blocks.
+const StoredSegLines = 1024
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("eslite: corrupt index")
+
+const indexMagic = "ESL1"
+
+// analyze splits a line into index terms the way ES's standard analyzer
+// does: maximal alphanumeric runs.
+func analyze(line string) []string {
+	var terms []string
+	i := 0
+	for i < len(line) {
+		if !isAlnum(line[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isAlnum(line[j]) {
+			j++
+		}
+		terms = append(terms, line[i:j])
+		i = j
+	}
+	return terms
+}
+
+func isAlnum(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+// Index builds the inverted index and stored-source segments. It is the
+// analogue of bulk insertion; the paper counts this as compression time.
+func Index(block []byte) ([]byte, error) {
+	lines := logparse.SplitLines(block)
+	postings := make(map[string][]int)
+	for i, l := range lines {
+		seen := make(map[string]struct{}, 16)
+		for _, t := range analyze(l) {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			postings[t] = append(postings[t], i)
+		}
+	}
+	terms := make([]string, 0, len(postings))
+	for t := range postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	var meta bytes.Buffer
+	writeUvarint(&meta, uint64(len(lines)))
+	writeUvarint(&meta, uint64(len(terms)))
+	for _, t := range terms {
+		writeUvarint(&meta, uint64(len(t)))
+		meta.WriteString(t)
+		ps := postings[t]
+		writeUvarint(&meta, uint64(len(ps)))
+		prev := 0
+		for _, p := range ps {
+			writeUvarint(&meta, uint64(p-prev))
+			prev = p
+		}
+	}
+
+	// Stored source, in compressed chunks for random access.
+	var stored [][]byte
+	for s := 0; s < len(lines); s += StoredSegLines {
+		end := s + StoredSegLines
+		if end > len(lines) {
+			end = len(lines)
+		}
+		var seg bytes.Buffer
+		for _, l := range lines[s:end] {
+			writeUvarint(&seg, uint64(len(l)))
+			seg.WriteString(l)
+		}
+		var comp bytes.Buffer
+		w, err := flate.NewWriter(&comp, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		w.Write(seg.Bytes())
+		w.Close()
+		stored = append(stored, comp.Bytes())
+	}
+
+	out := []byte(indexMagic)
+	out = binary.AppendUvarint(out, uint64(meta.Len()))
+	out = append(out, meta.Bytes()...)
+	out = binary.AppendUvarint(out, uint64(len(stored)))
+	for _, s := range stored {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// Store is an opened index.
+type Store struct {
+	numLines int
+	terms    []string
+	postings [][]int
+	stored   [][]byte
+	segCache map[int][]string
+}
+
+// Open parses an index produced by Index.
+func Open(data []byte) (*Store, error) {
+	if len(data) < len(indexMagic) || string(data[:len(indexMagic)]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos := len(indexMagic)
+	mlen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || pos+n+int(mlen) > len(data) {
+		return nil, ErrCorrupt
+	}
+	pos += n
+	meta := data[pos : pos+int(mlen)]
+	pos += int(mlen)
+
+	st := &Store{segCache: make(map[int][]string)}
+	mp := 0
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(meta[mp:])
+		if n <= 0 {
+			return 0, false
+		}
+		mp += n
+		return v, true
+	}
+	nl, ok := next()
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	st.numLines = int(nl)
+	nt, ok := next()
+	if !ok || nt > uint64(len(meta)) {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < int(nt); i++ {
+		tl, ok := next()
+		if !ok || mp+int(tl) > len(meta) {
+			return nil, ErrCorrupt
+		}
+		st.terms = append(st.terms, string(meta[mp:mp+int(tl)]))
+		mp += int(tl)
+		pc, ok := next()
+		if !ok || pc > uint64(len(meta)) {
+			return nil, ErrCorrupt
+		}
+		ps := make([]int, pc)
+		prev := 0
+		for j := range ps {
+			d, ok := next()
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			prev += int(d)
+			ps[j] = prev
+		}
+		st.postings = append(st.postings, ps)
+	}
+
+	ns, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	pos += n
+	for i := 0; i < int(ns); i++ {
+		sl, n := binary.Uvarint(data[pos:])
+		if n <= 0 || pos+n+int(sl) > len(data) {
+			return nil, ErrCorrupt
+		}
+		pos += n
+		st.stored = append(st.stored, data[pos:pos+int(sl)])
+		pos += int(sl)
+	}
+	return st, nil
+}
+
+// candidates returns lines whose terms could contain the fragment: the
+// union of postings of all terms containing it (a wildcard-style term scan).
+func (st *Store) candidates(frag string) *bitset.Set {
+	set := bitset.New(st.numLines)
+	// A fragment with a delimiter or non-alnum byte spans index terms;
+	// restrict the scan to its alphanumeric pieces and intersect.
+	pieces := analyze(frag)
+	if len(pieces) == 0 {
+		return set.Not()
+	}
+	for i, piece := range pieces {
+		ps := bitset.New(st.numLines)
+		for ti, t := range st.terms {
+			if strings.Contains(t, piece) {
+				for _, line := range st.postings[ti] {
+					ps.Set(line)
+				}
+			}
+		}
+		if i == 0 {
+			set.Or(ps)
+		} else {
+			set.And(ps)
+		}
+	}
+	return set
+}
+
+// Query answers a grep-like command from the index, fetching stored source
+// only for candidate verification and result rendering.
+func (st *Store) Query(command string) ([]int, []string, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, nil, err
+	}
+	var evalErr error
+	set := query.Eval(expr, st.numLines, func(s *query.Search) *bitset.Set {
+		cand := bitset.NewFull(st.numLines)
+		for _, frag := range s.Fragments {
+			cand.And(st.candidates(frag))
+		}
+		res := bitset.New(st.numLines)
+		cand.ForEach(func(line int) bool {
+			src, err := st.Source(line)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if s.MatchEntry(src) {
+				res.Set(line)
+			}
+			return true
+		})
+		return res
+	})
+	if evalErr != nil {
+		return nil, nil, evalErr
+	}
+	var outLines []int
+	var outEntries []string
+	var rerr error
+	set.ForEach(func(line int) bool {
+		src, err := st.Source(line)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		outLines = append(outLines, line)
+		outEntries = append(outEntries, src)
+		return true
+	})
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	return outLines, outEntries, nil
+}
+
+// Source fetches one stored document.
+func (st *Store) Source(line int) (string, error) {
+	si := line / StoredSegLines
+	if si < 0 || si >= len(st.stored) {
+		return "", fmt.Errorf("%w: line %d out of range", ErrCorrupt, line)
+	}
+	seg, ok := st.segCache[si]
+	if !ok {
+		raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(st.stored[si])))
+		if err != nil {
+			return "", fmt.Errorf("%w: segment %d: %v", ErrCorrupt, si, err)
+		}
+		pos := 0
+		for pos < len(raw) {
+			l, n := binary.Uvarint(raw[pos:])
+			if n <= 0 || pos+n+int(l) > len(raw) {
+				return "", ErrCorrupt
+			}
+			pos += n
+			seg = append(seg, string(raw[pos:pos+int(l)]))
+			pos += int(l)
+		}
+		st.segCache[si] = seg
+	}
+	k := line % StoredSegLines
+	if k >= len(seg) {
+		return "", fmt.Errorf("%w: line %d beyond segment", ErrCorrupt, line)
+	}
+	return seg[k], nil
+}

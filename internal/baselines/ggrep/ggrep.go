@@ -1,0 +1,83 @@
+// Package ggrep is the gzip+grep baseline — the method Alibaba Cloud used
+// for near-line logs before LogGrep (§6): compress the whole block with
+// gzip; to query, decompress everything and scan line by line.
+//
+// It uses the stdlib DEFLATE implementation at maximum compression and the
+// same query language and exact phrase semantics as LogGrep, so results are
+// directly comparable.
+package ggrep
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/logparse"
+	"loggrep/internal/query"
+)
+
+// Compress gzips the block.
+func Compress(block []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(block); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Store holds a compressed block. Each query decompresses it first — that
+// is the point of this baseline.
+type Store struct {
+	data []byte
+}
+
+// Open wraps compressed data.
+func Open(data []byte) (*Store, error) {
+	if _, err := gzip.NewReader(bytes.NewReader(data)); err != nil {
+		return nil, fmt.Errorf("ggrep: %w", err)
+	}
+	return &Store{data: data}, nil
+}
+
+// Query decompresses the block and greps it.
+func (s *Store) Query(command string) ([]int, []string, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := gzip.NewReader(bytes.NewReader(s.data))
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ggrep: %w", err)
+	}
+	lines := logparse.SplitLines(raw)
+	set := query.Eval(expr, len(lines), func(sr *query.Search) *bitset.Set {
+		m := bitset.New(len(lines))
+		for i, l := range lines {
+			if sr.MatchEntry(l) {
+				m.Set(i)
+			}
+		}
+		return m
+	})
+	var outLines []int
+	var outEntries []string
+	set.ForEach(func(i int) bool {
+		outLines = append(outLines, i)
+		outEntries = append(outEntries, lines[i])
+		return true
+	})
+	return outLines, outEntries, nil
+}

@@ -1,0 +1,421 @@
+package capsule
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"loggrep/internal/lzma"
+	"loggrep/internal/rtpattern"
+)
+
+// BoxMagic identifies a CapsuleBox stream.
+const BoxMagic = "LGRPBOX1"
+
+// Flags recorded in a CapsuleBox header. They echo the compressor options a
+// box was built with so the query engine adapts (ablation modes).
+const (
+	// FlagNoPadding marks variable-length capsules ("w/o fixed").
+	FlagNoPadding uint64 = 1 << iota
+	// FlagNoStamps marks boxes whose stamps are vacuous ("w/o stamp").
+	FlagNoStamps
+	// FlagStaticOnly marks LogGrep-SP boxes (no runtime patterns).
+	FlagStaticOnly
+)
+
+// PatternElem is a serialized runtime-pattern element: a literal or a
+// sub-variable with its stamp and, for real vectors, the Capsule that
+// stores the sub-variable vector.
+type PatternElem struct {
+	Lit   string
+	Sub   int // sub-variable index; -1 for a literal
+	Stamp rtpattern.Stamp
+	CapID int // capsule id of the sub-variable vector; -1 if stored inline
+}
+
+// DictPatternMeta is one runtime pattern of a nominal dictionary, with the
+// count and padded length that let queries jump to its dictionary segment.
+type DictPatternMeta struct {
+	Elems  []PatternElem
+	Count  int
+	MaxLen int
+}
+
+// VarKind distinguishes variable-vector encodings.
+type VarKind uint8
+
+const (
+	// RealVar vectors are decomposed into sub-variable Capsules by a
+	// single runtime pattern, plus an optional outlier Capsule.
+	RealVar VarKind = iota
+	// NominalVar vectors are a dictionary Capsule plus an index Capsule.
+	NominalVar
+)
+
+// VarMeta describes how one variable vector of a group is stored.
+type VarMeta struct {
+	Kind VarKind
+
+	// Real vectors.
+	Pattern  []PatternElem
+	NumSubs  int
+	OutCapID int   // -1 when every value matched the pattern
+	OutRows  []int // ascending rows (within the vector) stored as outliers
+
+	// Nominal vectors.
+	DictCapID    int
+	IndexCapID   int
+	DictPatterns []DictPatternMeta
+	IndexWidth   int
+}
+
+// TemplateElem is a serialized static-pattern element.
+type TemplateElem struct {
+	Lit string
+	Var int // variable slot; -1 for a literal
+}
+
+// GroupMeta describes one static-pattern group.
+type GroupMeta struct {
+	Template []TemplateElem
+	Lines    []int // original block line number of each entry, ascending
+	Vars     []VarMeta
+}
+
+// Rows returns the number of entries in the group.
+func (g *GroupMeta) Rows() int { return len(g.Lines) }
+
+// Meta is the metadata section of a CapsuleBox.
+type Meta struct {
+	NumLines     int
+	Flags        uint64
+	Groups       []GroupMeta
+	OutlierCapID int   // capsule holding unparsed raw lines; -1 if none
+	OutlierLines []int // their original line numbers, ascending
+	Capsules     []Info
+}
+
+func (m *Meta) encode() []byte {
+	var e encbuf
+	e.uint(uint64(m.NumLines))
+	e.uint(m.Flags)
+	e.int(m.OutlierCapID)
+	e.ascInts(m.OutlierLines)
+	e.uint(uint64(len(m.Capsules)))
+	for _, c := range m.Capsules {
+		e.uint(uint64(c.Kind))
+		e.uint(uint64(c.Stamp.TypeMask))
+		e.uint(uint64(c.Stamp.MaxLen))
+		e.uint(uint64(c.Stamp.MinLen))
+		e.uint(uint64(c.Rows))
+		e.uint(uint64(c.Width))
+		e.uint(uint64(c.ChunkRows))
+	}
+	e.uint(uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		e.uint(uint64(len(g.Template)))
+		for _, t := range g.Template {
+			e.int(t.Var)
+			if t.Var < 0 {
+				e.str(t.Lit)
+			}
+		}
+		e.ascInts(g.Lines)
+		e.uint(uint64(len(g.Vars)))
+		for _, v := range g.Vars {
+			e.uint(uint64(v.Kind))
+			switch v.Kind {
+			case RealVar:
+				encodeElems(&e, v.Pattern)
+				e.uint(uint64(v.NumSubs))
+				e.int(v.OutCapID)
+				e.ascInts(v.OutRows)
+			case NominalVar:
+				e.int(v.DictCapID)
+				e.int(v.IndexCapID)
+				e.uint(uint64(v.IndexWidth))
+				e.uint(uint64(len(v.DictPatterns)))
+				for _, dp := range v.DictPatterns {
+					encodeElems(&e, dp.Elems)
+					e.uint(uint64(dp.Count))
+					e.uint(uint64(dp.MaxLen))
+				}
+			}
+		}
+	}
+	return e.b
+}
+
+func encodeElems(e *encbuf, elems []PatternElem) {
+	e.uint(uint64(len(elems)))
+	for _, el := range elems {
+		e.int(el.Sub)
+		if el.Sub < 0 {
+			e.str(el.Lit)
+		} else {
+			e.uint(uint64(el.Stamp.TypeMask))
+			e.uint(uint64(el.Stamp.MaxLen))
+			e.uint(uint64(el.Stamp.MinLen))
+			e.int(el.CapID)
+		}
+	}
+}
+
+func decodeElems(d *decbuf) []PatternElem {
+	n := d.length(2)
+	elems := make([]PatternElem, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var el PatternElem
+		el.Sub = d.int()
+		if el.Sub < 0 {
+			el.Lit = d.str()
+			el.CapID = -1
+		} else {
+			el.Stamp.TypeMask = uint8(d.uint())
+			el.Stamp.MaxLen = int(d.uint())
+			el.Stamp.MinLen = int(d.uint())
+			el.CapID = d.int()
+		}
+		elems = append(elems, el)
+	}
+	return elems
+}
+
+func decodeMeta(raw []byte) (*Meta, error) {
+	d := &decbuf{b: raw}
+	m := &Meta{}
+	m.NumLines = int(d.uint())
+	m.Flags = d.uint()
+	m.OutlierCapID = d.int()
+	m.OutlierLines = d.ascInts()
+	nc := d.length(4)
+	m.Capsules = make([]Info, 0, nc)
+	for i := 0; i < nc && d.err == nil; i++ {
+		var c Info
+		c.Kind = Kind(d.uint())
+		c.Stamp.TypeMask = uint8(d.uint())
+		c.Stamp.MaxLen = int(d.uint())
+		c.Stamp.MinLen = int(d.uint())
+		c.Rows = int(d.uint())
+		c.Width = int(d.uint())
+		c.ChunkRows = int(d.uint())
+		m.Capsules = append(m.Capsules, c)
+	}
+	ng := d.length(4)
+	m.Groups = make([]GroupMeta, 0, ng)
+	for i := 0; i < ng && d.err == nil; i++ {
+		var g GroupMeta
+		nt := d.length(2)
+		g.Template = make([]TemplateElem, 0, nt)
+		for j := 0; j < nt && d.err == nil; j++ {
+			var t TemplateElem
+			t.Var = d.int()
+			if t.Var < 0 {
+				t.Lit = d.str()
+			}
+			g.Template = append(g.Template, t)
+		}
+		g.Lines = d.ascInts()
+		nv := d.length(2)
+		g.Vars = make([]VarMeta, 0, nv)
+		for j := 0; j < nv && d.err == nil; j++ {
+			var v VarMeta
+			v.Kind = VarKind(d.uint())
+			switch v.Kind {
+			case RealVar:
+				v.Pattern = decodeElems(d)
+				v.NumSubs = int(d.uint())
+				v.OutCapID = d.int()
+				v.OutRows = d.ascInts()
+				v.DictCapID, v.IndexCapID = -1, -1
+			case NominalVar:
+				v.DictCapID = d.int()
+				v.IndexCapID = d.int()
+				v.IndexWidth = int(d.uint())
+				ndp := d.length(3)
+				v.DictPatterns = make([]DictPatternMeta, 0, ndp)
+				for k := 0; k < ndp && d.err == nil; k++ {
+					var dp DictPatternMeta
+					dp.Elems = decodeElems(d)
+					dp.Count = int(d.uint())
+					dp.MaxLen = int(d.uint())
+					v.DictPatterns = append(v.DictPatterns, dp)
+				}
+				v.OutCapID = -1
+			default:
+				d.fail("unknown variable kind")
+			}
+			g.Vars = append(g.Vars, v)
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}
+
+// WriteBox assembles a CapsuleBox: LZMA-compressed metadata followed by one
+// blob per Capsule payload (payloads[i] belongs to meta.Capsules[i]).
+// chunkTarget > 0 cuts large capsules into ~chunkTarget-byte chunks that
+// compress independently (see chunk.go); 0 compresses each capsule whole,
+// as the paper does.
+func WriteBox(meta *Meta, payloads [][]byte, chunkTarget int) []byte {
+	if len(payloads) != len(meta.Capsules) {
+		panic("capsule: payload count does not match capsule directory")
+	}
+	// Encode blobs first: chunking records ChunkRows in the directory,
+	// which the metadata section serializes.
+	blobs := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		blobs[i] = encodeBlob(&meta.Capsules[i], p, chunkTarget)
+	}
+	out := []byte(BoxMagic)
+	mc := lzma.Compress(meta.encode())
+	out = binary.AppendUvarint(out, uint64(len(mc)))
+	out = append(out, mc...)
+	out = binary.AppendUvarint(out, uint64(len(blobs)))
+	for _, b := range blobs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Box is a read-opened CapsuleBox. Payloads decompress lazily and are
+// cached — the whole point of the format is that most queries touch few
+// Capsules.
+type Box struct {
+	Meta       *Meta
+	refs       []blobRef
+	cache      map[int][]byte
+	chunkCache map[[2]int][]byte
+	// Decompressions counts capsule payload decompressions, for the
+	// evaluation harness ("capsules touched"). Chunked fetches count one
+	// per chunk.
+	Decompressions int
+}
+
+// ReadBox parses a CapsuleBox produced by WriteBox.
+func ReadBox(data []byte) (*Box, error) {
+	if len(data) < len(BoxMagic) || string(data[:len(BoxMagic)]) != BoxMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	rest := data[len(BoxMagic):]
+	mlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < mlen {
+		return nil, fmt.Errorf("%w: bad meta length", ErrCorrupt)
+	}
+	rest = rest[n:]
+	metaRaw, err := lzma.Decompress(rest[:mlen])
+	if err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	rest = rest[mlen:]
+	meta, err := decodeMeta(metaRaw)
+	if err != nil {
+		return nil, err
+	}
+	nb, n := binary.Uvarint(rest)
+	if n <= 0 || nb != uint64(len(meta.Capsules)) {
+		return nil, fmt.Errorf("%w: capsule count mismatch", ErrCorrupt)
+	}
+	rest = rest[n:]
+	refs := make([]blobRef, nb)
+	for i := range refs {
+		br, consumed, err := decodeBlobRef(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: capsule %d: %v", ErrCorrupt, i, err)
+		}
+		if br.rowsPerChunk != meta.Capsules[i].ChunkRows && len(br.chunks) > 1 {
+			return nil, fmt.Errorf("%w: capsule %d chunk rows mismatch", ErrCorrupt, i)
+		}
+		refs[i] = br
+		rest = rest[consumed:]
+	}
+	return &Box{Meta: meta, refs: refs, cache: make(map[int][]byte), chunkCache: make(map[[2]int][]byte)}, nil
+}
+
+// Payload returns the whole decompressed payload of capsule id, caching
+// it. For chunked capsules every chunk is decompressed and concatenated
+// (delimiter-joined for var-width capsules).
+func (b *Box) Payload(id int) ([]byte, error) {
+	if id < 0 || id >= len(b.refs) {
+		return nil, fmt.Errorf("%w: capsule id %d out of range", ErrCorrupt, id)
+	}
+	if p, ok := b.cache[id]; ok {
+		return p, nil
+	}
+	ref := &b.refs[id]
+	info := b.Meta.Capsules[id]
+	var p []byte
+	if len(ref.chunks) == 1 {
+		var err error
+		p, err = lzma.Decompress(ref.chunks[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: capsule %d: %v", ErrCorrupt, id, err)
+		}
+		b.Decompressions++
+	} else {
+		for ci := range ref.chunks {
+			ch, err := b.PayloadChunk(id, ci)
+			if err != nil {
+				return nil, err
+			}
+			if ci > 0 && info.Width == 0 {
+				p = append(p, 0x0A) // strmatch.Delim between var-width chunks
+			}
+			p = append(p, ch...)
+		}
+	}
+	if info.Width > 0 && len(p) != info.Rows*info.Width {
+		return nil, fmt.Errorf("%w: capsule %d: payload %d bytes, want %d×%d", ErrCorrupt, id, len(p), info.Rows, info.Width)
+	}
+	b.cache[id] = p
+	return p, nil
+}
+
+// ChunkCount returns the number of chunks of capsule id (1 = unchunked).
+func (b *Box) ChunkCount(id int) int { return len(b.refs[id].chunks) }
+
+// PayloadChunk decompresses one chunk of a chunked capsule, caching it.
+// Chunk ci covers rows [ci*ChunkRows, min((ci+1)*ChunkRows, Rows)).
+func (b *Box) PayloadChunk(id, ci int) ([]byte, error) {
+	if id < 0 || id >= len(b.refs) {
+		return nil, fmt.Errorf("%w: capsule id %d out of range", ErrCorrupt, id)
+	}
+	ref := &b.refs[id]
+	if ci < 0 || ci >= len(ref.chunks) {
+		return nil, fmt.Errorf("%w: capsule %d chunk %d out of range", ErrCorrupt, id, ci)
+	}
+	key := [2]int{id, ci}
+	if p, ok := b.chunkCache[key]; ok {
+		return p, nil
+	}
+	p, err := lzma.Decompress(ref.chunks[ci])
+	if err != nil {
+		return nil, fmt.Errorf("%w: capsule %d chunk %d: %v", ErrCorrupt, id, ci, err)
+	}
+	info := b.Meta.Capsules[id]
+	if info.Width > 0 && len(ref.chunks) > 1 {
+		rowsIn := min(info.ChunkRows, info.Rows-ci*info.ChunkRows)
+		if rowsIn < 0 || len(p) != rowsIn*info.Width {
+			return nil, fmt.Errorf("%w: capsule %d chunk %d: %d bytes", ErrCorrupt, id, ci, len(p))
+		}
+	}
+	b.chunkCache[key] = p
+	b.Decompressions++
+	return p, nil
+}
+
+// DropCache releases decompressed payloads (used between benchmark
+// iterations to model cold queries).
+func (b *Box) DropCache() {
+	b.cache = make(map[int][]byte)
+	b.chunkCache = make(map[[2]int][]byte)
+	b.Decompressions = 0
+}
+
+// CacheSnapshot exposes the decompressed payload cache (test/diagnostics).
+func (b *Box) CacheSnapshot() map[int][]byte { return b.cache }
+
+// ChunkCacheSnapshot exposes the decompressed chunk cache (diagnostics).
+func (b *Box) ChunkCacheSnapshot() map[[2]int][]byte { return b.chunkCache }

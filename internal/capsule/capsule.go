@@ -1,0 +1,159 @@
+// Package capsule implements LogGrep's fine-grained storage units and the
+// CapsuleBox on-disk container (§4.2–§4.3 of the paper).
+//
+// A Capsule holds one sub-variable vector, dictionary vector, index vector,
+// or outlier vector, padded to fixed width (pad byte 0x00) so queries can
+// locate the i-th value in O(1) and convert Boyer–Moore hit positions to row
+// numbers by division. Each Capsule carries a stamp — a 6-bit character-type
+// mask and the maximal value length — used to skip decompression during
+// keyword matching. A CapsuleBox is the compressed form of one log block:
+// an LZMA-compressed metadata section (static patterns, runtime patterns,
+// stamps, line maps, capsule directory) followed by independently
+// LZMA-compressed Capsule payloads.
+package capsule
+
+import (
+	"fmt"
+
+	"loggrep/internal/rtpattern"
+	"loggrep/internal/strmatch"
+)
+
+// Kind identifies what a Capsule stores.
+type Kind uint8
+
+const (
+	// SubVar holds one sub-variable vector of a real variable vector.
+	SubVar Kind = iota
+	// Dict holds the dictionary vector of a nominal variable vector,
+	// padded per runtime pattern.
+	Dict
+	// Index holds the index vector of a nominal variable vector as
+	// fixed-width decimal strings.
+	Index
+	// Outlier holds values (or whole lines) that matched no pattern.
+	Outlier
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case SubVar:
+		return "subvar"
+	case Dict:
+		return "dict"
+	case Index:
+		return "index"
+	case Outlier:
+		return "outlier"
+	}
+	return "unknown"
+}
+
+// Info is the directory entry of one Capsule inside a CapsuleBox.
+type Info struct {
+	Kind  Kind
+	Stamp rtpattern.Stamp
+	Rows  int
+	// Width is the padded value width; 0 means the payload is
+	// delimiter-separated variable-length values (used by the Outlier
+	// kind and by the "w/o fixed" ablation).
+	Width int
+	// ChunkRows is the rows-per-chunk of a chunked capsule (see
+	// chunk.go); 0 means the payload compresses as one piece.
+	ChunkRows int
+}
+
+// PackFixed pads each value to width with the pad byte and concatenates
+// them. Values longer than width are a programming error.
+func PackFixed(values []string, width int) []byte {
+	buf := make([]byte, 0, len(values)*width)
+	for _, v := range values {
+		if len(v) > width {
+			panic(fmt.Sprintf("capsule: value %q longer than width %d", v, width))
+		}
+		buf = append(buf, v...)
+		for i := len(v); i < width; i++ {
+			buf = append(buf, strmatch.Pad)
+		}
+	}
+	return buf
+}
+
+// PackVar joins values with the variable-length delimiter. Values must not
+// contain the delimiter (log lines and tokens never contain '\n').
+func PackVar(values []string) []byte {
+	n := 0
+	for _, v := range values {
+		n += len(v) + 1
+	}
+	if n > 0 {
+		n--
+	}
+	buf := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			buf = append(buf, strmatch.Delim)
+		}
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// PackDict concatenates per-pattern segments: segment p holds counts[p]
+// values padded to widths[p]. The caller guarantees values arrive grouped
+// by pattern in pattern order — rtpattern.ExtractNominal produces exactly
+// that layout. The paper's §5.2 jump uses Σ count_i × width_i offsets.
+func PackDict(values []string, counts, widths []int) []byte {
+	total := 0
+	for p := range counts {
+		total += counts[p] * widths[p]
+	}
+	buf := make([]byte, 0, total)
+	pos := 0
+	for p := range counts {
+		seg := values[pos : pos+counts[p]]
+		pos += counts[p]
+		buf = append(buf, PackFixed(seg, widths[p])...)
+	}
+	if pos != len(values) {
+		panic("capsule: dict counts do not cover all values")
+	}
+	return buf
+}
+
+// DictOffset returns the byte offset of pattern p's segment.
+func DictOffset(counts, widths []int, p int) int {
+	off := 0
+	for i := 0; i < p; i++ {
+		off += counts[i] * widths[i]
+	}
+	return off
+}
+
+// FormatIndex renders a dictionary index as a fixed-width decimal string.
+func FormatIndex(idx, width int) string {
+	s := fmt.Sprintf("%0*d", width, idx)
+	if len(s) > width {
+		panic(fmt.Sprintf("capsule: index %d overflows width %d", idx, width))
+	}
+	return s
+}
+
+// PackIndex packs a row→dictionary-index vector at the given digit width.
+func PackIndex(rowIndex []int, width int) []byte {
+	buf := make([]byte, 0, len(rowIndex)*width)
+	for _, idx := range rowIndex {
+		buf = append(buf, FormatIndex(idx, width)...)
+	}
+	return buf
+}
+
+// ParseIndex reads the row-th index entry from a fixed-width index payload.
+func ParseIndex(payload []byte, width, row int) int {
+	v := 0
+	for _, b := range payload[row*width : (row+1)*width] {
+		v = v*10 + int(b-'0')
+	}
+	return v
+}

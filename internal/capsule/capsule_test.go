@@ -1,0 +1,342 @@
+package capsule
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loggrep/internal/rtpattern"
+	"loggrep/internal/strmatch"
+)
+
+func TestPackFixed(t *testing.T) {
+	buf := PackFixed([]string{"ab", "", "abcd"}, 4)
+	want := []byte("ab\x00\x00\x00\x00\x00\x00abcd")
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("PackFixed = %q, want %q", buf, want)
+	}
+	fw := strmatch.NewFixedWidth(buf, 4)
+	if string(fw.Value(0)) != "ab" || string(fw.Value(1)) != "" || string(fw.Value(2)) != "abcd" {
+		t.Fatal("values do not round-trip")
+	}
+}
+
+func TestPackFixedOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized value")
+		}
+	}()
+	PackFixed([]string{"abcde"}, 4)
+}
+
+func TestPackVar(t *testing.T) {
+	buf := PackVar([]string{"a", "", "bc"})
+	if string(buf) != "a\n\nbc" {
+		t.Fatalf("PackVar = %q", buf)
+	}
+	vw := strmatch.NewVarWidth(buf, 3)
+	if string(vw.Value(0)) != "a" || string(vw.Value(1)) != "" || string(vw.Value(2)) != "bc" {
+		t.Fatal("var values do not round-trip")
+	}
+	if len(PackVar(nil)) != 0 {
+		t.Fatal("empty PackVar not empty")
+	}
+}
+
+func TestPackDictAndOffset(t *testing.T) {
+	// Figure 5: pattern 0 = {ERR#404, ERR#501} width 7, pattern 1 = {SUCC} width 4.
+	values := []string{"ERR#404", "ERR#501", "SUCC"}
+	counts := []int{2, 1}
+	widths := []int{7, 4}
+	buf := PackDict(values, counts, widths)
+	if len(buf) != 2*7+4 {
+		t.Fatalf("dict payload %d bytes", len(buf))
+	}
+	if DictOffset(counts, widths, 0) != 0 || DictOffset(counts, widths, 1) != 14 {
+		t.Fatal("DictOffset wrong")
+	}
+	seg1 := strmatch.NewFixedWidth(buf[14:], 4)
+	if string(seg1.Value(0)) != "SUCC" {
+		t.Fatalf("segment 1 value = %q", seg1.Value(0))
+	}
+}
+
+func TestIndexPacking(t *testing.T) {
+	idx := []int{0, 2, 1, 10, 9}
+	buf := PackIndex(idx, 2)
+	if string(buf) != "0002011009" {
+		t.Fatalf("PackIndex = %q", buf)
+	}
+	for row, want := range idx {
+		if got := ParseIndex(buf, 2, row); got != want {
+			t.Errorf("ParseIndex row %d = %d, want %d", row, got, want)
+		}
+	}
+}
+
+func TestFormatIndexOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for index overflow")
+		}
+	}()
+	FormatIndex(100, 2)
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{SubVar: "subvar", Dict: "dict", Index: "index", Outlier: "outlier", Kind(9): "unknown"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func sampleMeta() (*Meta, [][]byte) {
+	meta := &Meta{
+		NumLines:     6,
+		Flags:        FlagStaticOnly,
+		OutlierCapID: 4,
+		OutlierLines: []int{5},
+		Capsules: []Info{
+			{Kind: SubVar, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 3}, Rows: 2, Width: 3},
+			{Kind: SubVar, Stamp: rtpattern.Stamp{TypeMask: 5, MaxLen: 4}, Rows: 2, Width: 4},
+			{Kind: Dict, Stamp: rtpattern.Stamp{TypeMask: 63, MaxLen: 7}, Rows: 3, Width: 0},
+			{Kind: Index, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 1}, Rows: 3, Width: 1},
+			{Kind: Outlier, Rows: 1, Width: 0},
+		},
+		Groups: []GroupMeta{
+			{
+				Template: []TemplateElem{{Var: -1, Lit: "T"}, {Var: 0}, {Var: -1, Lit: " read"}},
+				Lines:    []int{0, 2},
+				Vars: []VarMeta{
+					{
+						Kind: RealVar,
+						Pattern: []PatternElem{
+							{Sub: -1, Lit: "bk.", CapID: -1},
+							{Sub: 0, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 3}, CapID: 0},
+							{Sub: -1, Lit: ".", CapID: -1},
+							{Sub: 1, Stamp: rtpattern.Stamp{TypeMask: 5, MaxLen: 4}, CapID: 1},
+						},
+						NumSubs:  2,
+						OutCapID: -1,
+					},
+				},
+			},
+			{
+				Template: []TemplateElem{{Var: 0}, {Var: -1, Lit: " state"}},
+				Lines:    []int{1, 3, 4},
+				Vars: []VarMeta{
+					{
+						Kind:       NominalVar,
+						DictCapID:  2,
+						IndexCapID: 3,
+						IndexWidth: 1,
+						DictPatterns: []DictPatternMeta{
+							{
+								Elems:  []PatternElem{{Sub: -1, Lit: "ERR#", CapID: -1}, {Sub: 0, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 3}, CapID: -1}},
+								Count:  2,
+								MaxLen: 7,
+							},
+							{Elems: []PatternElem{{Sub: -1, Lit: "SUCC", CapID: -1}}, Count: 1, MaxLen: 4},
+						},
+						OutCapID: -1,
+					},
+				},
+			},
+		},
+	}
+	payloads := [][]byte{
+		PackFixed([]string{"13", "15"}, 3),
+		PackFixed([]string{"FF", "C5"}, 4),
+		PackDict([]string{"ERR#404", "ERR#501", "SUCC"}, []int{2, 1}, []int{7, 4}),
+		PackIndex([]int{0, 2, 1}, 1),
+		PackVar([]string{"garbage line"}),
+	}
+	return meta, payloads
+}
+
+func TestBoxRoundTrip(t *testing.T) {
+	meta, payloads := sampleMeta()
+	data := WriteBox(meta, payloads, 0)
+	box, err := ReadBox(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := box.Meta
+	if m.NumLines != 6 || m.Flags != FlagStaticOnly || m.OutlierCapID != 4 {
+		t.Fatalf("meta header mismatch: %+v", m)
+	}
+	if len(m.Capsules) != 5 || len(m.Groups) != 2 {
+		t.Fatalf("directory mismatch: %d capsules %d groups", len(m.Capsules), len(m.Groups))
+	}
+	if m.Capsules[1].Stamp.TypeMask != 5 || m.Capsules[1].Width != 4 {
+		t.Fatalf("capsule info mismatch: %+v", m.Capsules[1])
+	}
+	g0 := m.Groups[0]
+	if g0.Template[0].Lit != "T" || g0.Template[1].Var != 0 || g0.Rows() != 2 {
+		t.Fatalf("group 0 mismatch: %+v", g0)
+	}
+	v0 := g0.Vars[0]
+	if v0.Kind != RealVar || v0.NumSubs != 2 || v0.Pattern[1].CapID != 0 || v0.Pattern[3].Stamp.MaxLen != 4 {
+		t.Fatalf("real var mismatch: %+v", v0)
+	}
+	v1 := m.Groups[1].Vars[0]
+	if v1.Kind != NominalVar || v1.DictCapID != 2 || len(v1.DictPatterns) != 2 || v1.DictPatterns[0].Count != 2 {
+		t.Fatalf("nominal var mismatch: %+v", v1)
+	}
+	for i, want := range payloads {
+		got, err := box.Payload(i)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	if box.Decompressions != 5 {
+		t.Fatalf("Decompressions = %d, want 5", box.Decompressions)
+	}
+	// Cached access does not re-decompress.
+	box.Payload(0)
+	if box.Decompressions != 5 {
+		t.Fatal("cache miss on repeated access")
+	}
+	box.DropCache()
+	if box.Decompressions != 0 {
+		t.Fatal("DropCache did not reset the counter")
+	}
+}
+
+func TestBoxPayloadOutOfRange(t *testing.T) {
+	meta, payloads := sampleMeta()
+	box, err := ReadBox(WriteBox(meta, payloads, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := box.Payload(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := box.Payload(99); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+// Corruption anywhere in the stream must produce an error or garbage-free
+// failure, never a panic.
+func TestBoxCorruptionRejected(t *testing.T) {
+	meta, payloads := sampleMeta()
+	data := WriteBox(meta, payloads, 0)
+	if _, err := ReadBox(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := ReadBox([]byte("BADMAGIC rest")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for cut := 0; cut < len(data); cut += 3 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, r)
+				}
+			}()
+			if box, err := ReadBox(data[:cut]); err == nil {
+				for i := range box.Meta.Capsules {
+					box.Payload(i)
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		mut := bytes.Clone(data)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit flip: %v", r)
+				}
+			}()
+			if box, err := ReadBox(mut); err == nil {
+				for i := range box.Meta.Capsules {
+					box.Payload(i)
+				}
+			}
+		}()
+	}
+}
+
+// Property: meta encode/decode round-trips for generated shapes.
+func TestQuickMetaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		meta := &Meta{
+			NumLines:     rng.Intn(1000),
+			Flags:        uint64(rng.Intn(8)),
+			OutlierCapID: -1,
+		}
+		nc := rng.Intn(5)
+		for i := 0; i < nc; i++ {
+			meta.Capsules = append(meta.Capsules, Info{
+				Kind:  Kind(rng.Intn(4)),
+				Stamp: rtpattern.Stamp{TypeMask: uint8(rng.Intn(64)), MaxLen: rng.Intn(100)},
+				Rows:  rng.Intn(1000),
+				Width: rng.Intn(50),
+			})
+		}
+		ng := rng.Intn(4)
+		lineNo := 0
+		for i := 0; i < ng; i++ {
+			var g GroupMeta
+			g.Template = []TemplateElem{{Var: -1, Lit: "x"}, {Var: 0}}
+			for j := 0; j < rng.Intn(5)+1; j++ {
+				lineNo += rng.Intn(3) + 1
+				g.Lines = append(g.Lines, lineNo)
+			}
+			g.Vars = []VarMeta{{
+				Kind:     RealVar,
+				Pattern:  []PatternElem{{Sub: 0, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 5}, CapID: 0}},
+				NumSubs:  1,
+				OutCapID: -1,
+			}}
+			meta.Groups = append(meta.Groups, g)
+		}
+		payloads := make([][]byte, len(meta.Capsules))
+		for i, c := range meta.Capsules {
+			if c.Width > 0 {
+				payloads[i] = make([]byte, c.Rows*c.Width)
+			} else {
+				payloads[i] = []byte("abc")
+				meta.Capsules[i].Rows = 1
+			}
+		}
+		box, err := ReadBox(WriteBox(meta, payloads, 0))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if box.Meta.NumLines != meta.NumLines || box.Meta.Flags != meta.Flags {
+			return false
+		}
+		if len(box.Meta.Groups) != len(meta.Groups) || len(box.Meta.Capsules) != len(meta.Capsules) {
+			return false
+		}
+		for i, g := range meta.Groups {
+			got := box.Meta.Groups[i]
+			if len(got.Lines) != len(g.Lines) {
+				return false
+			}
+			for j := range g.Lines {
+				if got.Lines[j] != g.Lines[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package capsule
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"loggrep/internal/lzma"
+	"loggrep/internal/strmatch"
+)
+
+// Capsule chunking: optionally, a Capsule's payload is cut at row
+// boundaries into chunks that compress independently, so fetching the
+// i-th value decompresses one chunk instead of the whole Capsule. The
+// paper compresses each Capsule whole (blocks bound Capsule size); this is
+// an extension useful when query matches cluster — reconstruction then
+// touches a few chunks of each Capsule rather than all of it. The
+// trade-off is a slightly lower compression ratio (smaller compression
+// contexts), quantified by BenchmarkChunkedCapsules.
+//
+// Blob wire format (per capsule):
+//
+//	uvarint numChunks
+//	  numChunks == 1: uvarint(len) + lzma blob            (unchunked)
+//	  else: uvarint rowsPerChunk, then per chunk uvarint(len) + lzma blob
+
+// chunkRowBoundaries returns the byte offset of each row boundary for a
+// var-width payload (delimiter-separated values).
+func chunkVarPayload(payload []byte, rows, rowsPerChunk int) [][]byte {
+	var chunks [][]byte
+	start := 0
+	rowInChunk := 0
+	pos := 0
+	for ; pos < len(payload); pos++ {
+		if payload[pos] != strmatch.Delim {
+			continue
+		}
+		rowInChunk++
+		if rowInChunk == rowsPerChunk {
+			chunks = append(chunks, payload[start:pos])
+			start = pos + 1
+			rowInChunk = 0
+		}
+	}
+	chunks = append(chunks, payload[start:])
+	return chunks
+}
+
+// encodeBlob compresses one capsule payload, chunked when the capsule is
+// chunkable and larger than target.
+func encodeBlob(info *Info, payload []byte, target int) []byte {
+	chunkable := target > 0 && info.Kind != Dict && info.Rows > 1 && len(payload) > target
+	if !chunkable {
+		out := binary.AppendUvarint(nil, 1)
+		c := lzma.Compress(payload)
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		return append(out, c...)
+	}
+	avgRow := (len(payload) + info.Rows - 1) / info.Rows
+	rowsPerChunk := max(1, target/max(1, avgRow))
+	var chunks [][]byte
+	if info.Width > 0 {
+		stride := rowsPerChunk * info.Width
+		for off := 0; off < len(payload); off += stride {
+			end := min(off+stride, len(payload))
+			chunks = append(chunks, payload[off:end])
+		}
+	} else {
+		chunks = chunkVarPayload(payload, info.Rows, rowsPerChunk)
+	}
+	info.ChunkRows = rowsPerChunk
+	out := binary.AppendUvarint(nil, uint64(len(chunks)))
+	out = binary.AppendUvarint(out, uint64(rowsPerChunk))
+	for _, ch := range chunks {
+		c := lzma.Compress(ch)
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		out = append(out, c...)
+	}
+	return out
+}
+
+// blobRef locates one capsule's chunks inside the box buffer.
+type blobRef struct {
+	rowsPerChunk int
+	chunks       [][]byte // compressed
+}
+
+func decodeBlobRef(data []byte) (blobRef, int, error) {
+	var br blobRef
+	pos := 0
+	numChunks, n := binary.Uvarint(data)
+	if n <= 0 || numChunks == 0 || numChunks > uint64(len(data)) {
+		return br, 0, fmt.Errorf("%w: bad chunk count", ErrCorrupt)
+	}
+	pos += n
+	if numChunks > 1 {
+		rpc, n := binary.Uvarint(data[pos:])
+		if n <= 0 || rpc == 0 {
+			return br, 0, fmt.Errorf("%w: bad rows per chunk", ErrCorrupt)
+		}
+		pos += n
+		br.rowsPerChunk = int(rpc)
+	}
+	for i := uint64(0); i < numChunks; i++ {
+		cl, n := binary.Uvarint(data[pos:])
+		if n <= 0 || uint64(len(data)-pos-n) < cl {
+			return br, 0, fmt.Errorf("%w: chunk %d truncated", ErrCorrupt, i)
+		}
+		pos += n
+		br.chunks = append(br.chunks, data[pos:pos+int(cl)])
+		pos += int(cl)
+	}
+	return br, pos, nil
+}

@@ -1,0 +1,121 @@
+package capsule
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when a CapsuleBox fails to decode.
+var ErrCorrupt = errors.New("capsule: corrupt box")
+
+// encbuf is a tiny append-only binary encoder: uvarints, length-prefixed
+// strings/bytes, and delta-coded ascending int slices.
+type encbuf struct {
+	b []byte
+}
+
+func (e *encbuf) uint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encbuf) int(v int)     { e.b = binary.AppendVarint(e.b, int64(v)) }
+func (e *encbuf) str(s string) {
+	e.uint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// ascInts delta-codes an ascending int slice (line numbers, outlier rows).
+func (e *encbuf) ascInts(v []int) {
+	e.uint(uint64(len(v)))
+	prev := 0
+	for _, x := range v {
+		e.uint(uint64(x - prev))
+		prev = x
+	}
+}
+
+// decbuf is the matching decoder; it latches the first error.
+type decbuf struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decbuf) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.pos)
+	}
+}
+
+func (d *decbuf) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decbuf) int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return int(v)
+}
+
+// length reads a count and sanity-checks it against the remaining bytes so
+// corrupt input cannot trigger huge allocations.
+func (d *decbuf) length(min int) int {
+	n := d.uint()
+	if d.err != nil {
+		return 0
+	}
+	if min > 0 && int(n) > (len(d.b)-d.pos)/min+1 {
+		d.fail("implausible length")
+		return 0
+	}
+	if n > uint64(len(d.b)) && min >= 1 {
+		d.fail("implausible length")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decbuf) str() string {
+	n := d.length(1)
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.b) {
+		d.fail("string overruns buffer")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decbuf) ascInts() []int {
+	n := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		prev += int(d.uint())
+		out[i] = prev
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

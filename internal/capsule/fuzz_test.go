@@ -1,0 +1,21 @@
+package capsule
+
+import "testing"
+
+// FuzzReadBox: arbitrary bytes must never panic, and whatever opens must
+// serve payloads without panicking.
+func FuzzReadBox(f *testing.F) {
+	meta, payloads := sampleMeta()
+	f.Add(WriteBox(meta, payloads, 0))
+	f.Add([]byte(BoxMagic))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		box, err := ReadBox(data)
+		if err != nil {
+			return
+		}
+		for i := range box.Meta.Capsules {
+			box.Payload(i)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/query"
+)
+
+// Count returns the number of entries matching a command — grep -c.
+//
+// When every search string in the expression is exactly filterable (a
+// single wildcard-free keyword), the filter bitsets are not supersets but
+// the precise answer: a keyword that is one token matches an entry iff it
+// occurs as a substring, which is exactly what the runtime-pattern
+// matching computes. In that case Count combines bitsets and never
+// reconstructs an entry. Otherwise it falls back to the verifying Query
+// path.
+func (st *Store) Count(command string) (int, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return 0, err
+	}
+	if allExactLeaves(expr) {
+		set, err := st.exactEval(expr)
+		if err != nil {
+			return 0, err
+		}
+		return set.Count(), nil
+	}
+	res, err := st.Query(command)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Lines), nil
+}
+
+// allExactLeaves reports whether the expression only contains search
+// strings whose filter result is exact: one keyword, no wildcards, and the
+// keyword is the entire phrase (no cross-token adjacency to verify).
+func allExactLeaves(e query.Expr) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return allExactLeaves(x.L) && allExactLeaves(x.R)
+	case *query.Or:
+		return allExactLeaves(x.L) && allExactLeaves(x.R)
+	case *query.Not:
+		return allExactLeaves(x.X)
+	case *query.Search:
+		return len(x.Keywords) == 1 &&
+			x.Keywords[0] == x.Raw &&
+			!strings.Contains(x.Raw, "*")
+	}
+	return false
+}
+
+// exactEval evaluates an all-exact expression purely on filter bitsets;
+// NOT complements soundly because the leaf sets are exact.
+func (st *Store) exactEval(e query.Expr) (*bitset.Set, error) {
+	switch x := e.(type) {
+	case *query.And:
+		l, err := st.exactEval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.exactEval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.And(r), nil
+	case *query.Or:
+		l, err := st.exactEval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.exactEval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.Or(r), nil
+	case *query.Not:
+		s, err := st.exactEval(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return s.Not(), nil
+	case *query.Search:
+		return st.searchCandidates(x)
+	}
+	return bitset.New(st.NumLines()), nil
+}
+
+// RawQuery runs a command over an uncompressed block with the same exact
+// semantics as Query — the first-phase path for blocks that have not been
+// compressed yet (§2 of the paper).
+func RawQuery(block []byte, command string) ([]int, []string, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := splitLinesView(block)
+	var outLines []int
+	var outEntries []string
+	for i, l := range lines {
+		if exprMatch(expr, l) {
+			outLines = append(outLines, i)
+			outEntries = append(outEntries, l)
+		}
+	}
+	return outLines, outEntries, nil
+}
+
+// splitLinesView splits without copying each line's bytes twice.
+func splitLinesView(block []byte) []string {
+	if len(block) == 0 {
+		return nil
+	}
+	s := string(block)
+	if s[len(s)-1] == '\n' {
+		s = s[:len(s)-1]
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/rtpattern"
+	"loggrep/internal/strmatch"
+)
+
+// hole is a position in an element sequence whose per-row values live in
+// Capsules (a sub-variable vector, a whole variable vector, a nominal
+// dictionary+index pair, ...).
+//
+// find must return a fresh set (callers mutate results) sized rows().
+type hole interface {
+	stamp() rtpattern.Stamp
+	rows() int
+	find(part string, kind strmatch.Kind) (*bitset.Set, error)
+}
+
+// seqElem is one element of a value layout: a literal or a hole. Sequences
+// never contain two adjacent holes (construction inserts literals between
+// them), which the recursive matchers rely on.
+type seqElem struct {
+	lit string
+	h   hole
+}
+
+// engine carries the cross-cutting matcher state: whether stamps filter,
+// and a counter of scans the stamps pruned (for Explain).
+type engine struct {
+	stamps bool
+	pruned int
+}
+
+// admits applies the Capsule-stamp filter of §5.1 (skipped in the
+// "w/o stamp" ablation). A part longer than the stamp's MaxLen can never
+// occur in the Capsule regardless of stamps, but that case is also caught
+// by the scans themselves; the stamp's job is to avoid the scan.
+func (en *engine) admits(h hole, part string) bool {
+	if part == "" {
+		return true
+	}
+	if !en.stamps {
+		return true
+	}
+	if !h.stamp().Admits(part) {
+		en.pruned++
+		return false
+	}
+	return true
+}
+
+// admitsExact is the stamp filter for whole-value constraints, which can
+// additionally prune on the minimal value length.
+func (en *engine) admitsExact(h hole, part string) bool {
+	if !en.stamps {
+		return true
+	}
+	if !h.stamp().AdmitsExact(part) {
+		en.pruned++
+		return false
+	}
+	return true
+}
+
+// matchKind dispatches a (part, kind) constraint over a sequence of n rows.
+func (en *engine) matchKind(seq []seqElem, n int, part string, kind strmatch.Kind) (*bitset.Set, error) {
+	switch kind {
+	case strmatch.Substr:
+		return en.findSubstr(seq, n, part)
+	case strmatch.Prefix:
+		return en.prefixFrom(seq, 0, n, part, false)
+	case strmatch.Exact:
+		return en.prefixFrom(seq, 0, n, part, true)
+	case strmatch.Suffix:
+		return en.suffixFrom(seq, len(seq)-1, n, part, false)
+	}
+	panic("core: unknown match kind")
+}
+
+// findSubstr returns a superset-free set of rows whose value contains frag,
+// implementing the sub-string algorithm of §5.1: the fragment may sit
+// inside one hole, inside one literal (all rows match), or overlap a
+// literal in the head / tail / body fashion, which recurses into anchored
+// prefix and suffix matching on the surrounding elements.
+func (en *engine) findSubstr(seq []seqElem, n int, frag string) (*bitset.Set, error) {
+	res := bitset.New(n)
+	if frag == "" {
+		return bitset.NewFull(n), nil
+	}
+	for i, e := range seq {
+		if e.h != nil {
+			if en.admits(e.h, frag) {
+				sub, err := e.h.find(frag, strmatch.Substr)
+				if err != nil {
+					return nil, err
+				}
+				res.Or(sub)
+			}
+			continue
+		}
+		L := e.lit
+		if strings.Contains(L, frag) {
+			return bitset.NewFull(n), nil
+		}
+		// Head case: a suffix of L is a proper prefix of frag.
+		maxOverlap := len(L)
+		if maxOverlap > len(frag)-1 {
+			maxOverlap = len(frag) - 1
+		}
+		for sl := 1; sl <= maxOverlap; sl++ {
+			if L[len(L)-sl:] != frag[:sl] {
+				continue
+			}
+			sub, err := en.prefixFrom(seq, i+1, n, frag[sl:], false)
+			if err != nil {
+				return nil, err
+			}
+			res.Or(sub)
+		}
+		// Tail case: a prefix of L is a proper suffix of frag.
+		for pl := 1; pl <= maxOverlap; pl++ {
+			if L[:pl] != frag[len(frag)-pl:] {
+				continue
+			}
+			sub, err := en.suffixFrom(seq, i-1, n, frag[:len(frag)-pl], false)
+			if err != nil {
+				return nil, err
+			}
+			res.Or(sub)
+		}
+		// Body case: L occurs strictly inside frag.
+		for k := 1; k+len(L) < len(frag); k++ {
+			if frag[k:k+len(L)] != L {
+				continue
+			}
+			pre, err := en.suffixFrom(seq, i-1, n, frag[:k], false)
+			if err != nil {
+				return nil, err
+			}
+			if !pre.Any() {
+				continue
+			}
+			post, err := en.prefixFrom(seq, i+1, n, frag[k+len(L):], false)
+			if err != nil {
+				return nil, err
+			}
+			res.Or(pre.And(post))
+		}
+	}
+	return res, nil
+}
+
+// prefixFrom returns the rows whose value following seq[i:] starts with
+// frag (exact=false) or equals frag (exact=true).
+func (en *engine) prefixFrom(seq []seqElem, i, n int, frag string, exact bool) (*bitset.Set, error) {
+	if frag == "" {
+		if !exact {
+			return bitset.NewFull(n), nil
+		}
+		return en.allEmpty(seq[i:], n)
+	}
+	if i >= len(seq) {
+		return bitset.New(n), nil
+	}
+	e := seq[i]
+	if e.h == nil {
+		L := e.lit
+		if len(frag) <= len(L) {
+			if exact {
+				if frag == L {
+					return en.allEmpty(seq[i+1:], n)
+				}
+				return bitset.New(n), nil
+			}
+			if strings.HasPrefix(L, frag) {
+				return bitset.NewFull(n), nil
+			}
+			return bitset.New(n), nil
+		}
+		if strings.HasPrefix(frag, L) {
+			return en.prefixFrom(seq, i+1, n, frag[len(L):], exact)
+		}
+		return bitset.New(n), nil
+	}
+
+	h := e.h
+	res := bitset.New(n)
+	if !exact && en.admits(h, frag) {
+		// The whole remaining fragment sits inside this hole's prefix.
+		sub, err := h.find(frag, strmatch.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		res.Or(sub)
+	}
+	upper := len(frag)
+	if !exact {
+		upper-- // j == len(frag) is covered by the Prefix case above
+	}
+	if m := h.stamp().MaxLen; upper > m {
+		upper = m // a hole never holds a value longer than its max length
+	}
+	for j := 0; j <= upper; j++ {
+		part := frag[:j]
+		if !en.admitsExact(h, part) {
+			continue
+		}
+		sub, err := h.find(part, strmatch.Exact)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.Any() {
+			continue
+		}
+		rest, err := en.prefixFrom(seq, i+1, n, frag[j:], exact)
+		if err != nil {
+			return nil, err
+		}
+		if !rest.Any() {
+			continue
+		}
+		res.Or(sub.And(rest))
+	}
+	return res, nil
+}
+
+// suffixFrom returns the rows whose value of seq[:i+1] ends with frag
+// (exact=false) or equals frag (exact=true).
+func (en *engine) suffixFrom(seq []seqElem, i, n int, frag string, exact bool) (*bitset.Set, error) {
+	if frag == "" {
+		if !exact {
+			return bitset.NewFull(n), nil
+		}
+		return en.allEmpty(seq[:i+1], n)
+	}
+	if i < 0 {
+		return bitset.New(n), nil
+	}
+	e := seq[i]
+	if e.h == nil {
+		L := e.lit
+		if len(frag) <= len(L) {
+			if exact {
+				if frag == L {
+					return en.allEmpty(seq[:i], n)
+				}
+				return bitset.New(n), nil
+			}
+			if strings.HasSuffix(L, frag) {
+				return bitset.NewFull(n), nil
+			}
+			return bitset.New(n), nil
+		}
+		if strings.HasSuffix(frag, L) {
+			return en.suffixFrom(seq, i-1, n, frag[:len(frag)-len(L)], exact)
+		}
+		return bitset.New(n), nil
+	}
+
+	h := e.h
+	res := bitset.New(n)
+	if !exact && en.admits(h, frag) {
+		sub, err := h.find(frag, strmatch.Suffix)
+		if err != nil {
+			return nil, err
+		}
+		res.Or(sub)
+	}
+	upper := len(frag)
+	if !exact {
+		upper--
+	}
+	if m := h.stamp().MaxLen; upper > m {
+		upper = m
+	}
+	for j := 0; j <= upper; j++ {
+		part := frag[len(frag)-j:]
+		if !en.admitsExact(h, part) {
+			continue
+		}
+		sub, err := h.find(part, strmatch.Exact)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.Any() {
+			continue
+		}
+		rest, err := en.suffixFrom(seq, i-1, n, frag[:len(frag)-j], exact)
+		if err != nil {
+			return nil, err
+		}
+		if !rest.Any() {
+			continue
+		}
+		res.Or(sub.And(rest))
+	}
+	return res, nil
+}
+
+// allEmpty returns rows for which every element of seq is empty: literals
+// must be empty strings and holes must hold empty values.
+func (en *engine) allEmpty(seq []seqElem, n int) (*bitset.Set, error) {
+	res := bitset.NewFull(n)
+	for _, e := range seq {
+		if e.h == nil {
+			if e.lit != "" {
+				return bitset.New(n), nil
+			}
+			continue
+		}
+		if !en.admitsExact(e.h, "") {
+			return bitset.New(n), nil
+		}
+		sub, err := e.h.find("", strmatch.Exact)
+		if err != nil {
+			return nil, err
+		}
+		res.And(sub)
+		if !res.Any() {
+			return res, nil
+		}
+	}
+	return res, nil
+}

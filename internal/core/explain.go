@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/query"
+)
+
+// Explain describes how a query command would execute: per search string
+// and per static-pattern group, how many rows survive each fragment's
+// runtime-pattern filtering, and how much work the Capsule stamps avoided.
+// It is the observability companion to §5 of the paper — the numbers show
+// the Locator's filtering funnel directly.
+type Explain struct {
+	Command  string
+	NumLines int
+	Searches []SearchExplain
+	// Decompressions is how many Capsule payloads the explanation itself
+	// had to decompress (the same Capsules a real query would touch).
+	Decompressions int
+	// StampPrunes counts Capsule scans the stamps eliminated.
+	StampPrunes int
+}
+
+// SearchExplain is the funnel of one search string.
+type SearchExplain struct {
+	Phrase     string
+	Fragments  []string
+	Groups     []GroupExplain
+	Candidates int // total candidate lines across groups and outliers
+}
+
+// GroupExplain is one group's contribution.
+type GroupExplain struct {
+	Template string
+	Rows     int
+	// AfterFragment[i] is how many of the group's rows remain candidates
+	// after intersecting fragments [0..i] (sorted longest-first, the
+	// execution order).
+	AfterFragment []int
+}
+
+// Explain analyzes a command without producing result entries. It performs
+// the same filtering a Query would (and warms the same caches), but skips
+// verification and reconstruction.
+func (st *Store) Explain(command string) (*Explain, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, err
+	}
+	d0 := st.box.Decompressions
+	st.en.pruned = 0
+	ex := &Explain{Command: command, NumLines: st.NumLines()}
+	for _, s := range query.Searches(expr) {
+		se := SearchExplain{Phrase: s.Raw}
+		frags := append([]string(nil), s.Fragments...)
+		// Longest first — same order searchCandidates uses.
+		for i := 0; i < len(frags); i++ {
+			for j := i + 1; j < len(frags); j++ {
+				if len(frags[j]) > len(frags[i]) {
+					frags[i], frags[j] = frags[j], frags[i]
+				}
+			}
+		}
+		se.Fragments = frags
+		for _, g := range st.groups {
+			ge := GroupExplain{Template: templateString(g), Rows: g.n}
+			cand := bitset.NewFull(g.n)
+			for _, frag := range frags {
+				if cand.Any() {
+					fs, err := st.en.findSubstr(g.seq, g.n, frag)
+					if err != nil {
+						return nil, err
+					}
+					cand.And(fs)
+				}
+				ge.AfterFragment = append(ge.AfterFragment, cand.Count())
+			}
+			if len(frags) == 0 {
+				ge.AfterFragment = []int{g.n}
+			}
+			se.Candidates += cand.Count()
+			// Keep every group for completeness; String() elides the
+			// fully pruned ones.
+			se.Groups = append(se.Groups, ge)
+		}
+		ex.Searches = append(ex.Searches, se)
+	}
+	ex.Decompressions = st.box.Decompressions - d0
+	ex.StampPrunes = st.en.pruned
+	return ex, nil
+}
+
+// String renders the funnel, eliding groups nothing survived in.
+func (ex *Explain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain %q over %d lines\n", ex.Command, ex.NumLines)
+	for _, se := range ex.Searches {
+		fmt.Fprintf(&b, "search %q (fragments, most selective first: %v)\n", se.Phrase, se.Fragments)
+		shown := 0
+		for _, ge := range se.Groups {
+			last := ge.Rows
+			if n := len(ge.AfterFragment); n > 0 {
+				last = ge.AfterFragment[n-1]
+			}
+			if last == 0 {
+				continue
+			}
+			shown++
+			fmt.Fprintf(&b, "  group %-50.50q rows=%-7d funnel=%v\n", ge.Template, ge.Rows, ge.AfterFragment)
+		}
+		fmt.Fprintf(&b, "  -> %d candidate lines in %d groups (%d groups fully pruned)\n",
+			se.Candidates, shown, len(se.Groups)-shown)
+	}
+	fmt.Fprintf(&b, "capsules decompressed: %d, scans pruned by stamps: %d\n",
+		ex.Decompressions, ex.StampPrunes)
+	return b.String()
+}
+
+// templateString reconstructs the display form of a group's template.
+func templateString(g *qGroup) string {
+	var b strings.Builder
+	for _, te := range g.meta.Template {
+		if te.Var >= 0 {
+			b.WriteString("<*>")
+		} else {
+			b.WriteString(te.Lit)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainFunnel(t *testing.T) {
+	lines := genBlock(44, 1200)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	ex, err := st.Explain("ERROR AND state:ERR#404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Searches) != 2 {
+		t.Fatalf("searches = %d", len(ex.Searches))
+	}
+	// Candidate counts must match what the query actually returns when the
+	// leaf is exactly filterable.
+	res, err := st.Query("state:ERR#404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Searches[1].Candidates; got != len(res.Lines) {
+		t.Fatalf("explain candidates %d != query matches %d", got, len(res.Lines))
+	}
+	// The funnel must be monotone non-increasing per group.
+	for _, se := range ex.Searches {
+		for _, ge := range se.Groups {
+			prev := ge.Rows
+			for _, c := range ge.AfterFragment {
+				if c > prev {
+					t.Fatalf("funnel grew: %v in group %q", ge.AfterFragment, ge.Template)
+				}
+				prev = c
+			}
+		}
+	}
+	out := ex.String()
+	for _, want := range []string{"explain", "funnel=", "candidate lines", "pruned"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if ex.StampPrunes == 0 {
+		t.Fatal("no stamp prunes recorded on a mixed workload")
+	}
+}
+
+func TestExplainBadQuery(t *testing.T) {
+	st, _ := mustOpen(t, makeBlock("a b"), DefaultOptions())
+	if _, err := st.Explain("(("); err == nil {
+		t.Fatal("bad command accepted")
+	}
+}

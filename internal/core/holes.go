@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/capsule"
+	"loggrep/internal/rtpattern"
+	"loggrep/internal/strmatch"
+)
+
+// searcher abstracts fixed-width and variable-length capsule payloads.
+type searcher interface {
+	Rows() int
+	Value(i int) []byte
+	ScanRows(part string, kind strmatch.Kind, fn func(row int) bool)
+	MatchRow(i int, part string, kind strmatch.Kind) bool
+}
+
+// capsuleHole exposes one Capsule as a hole; its row space is the
+// Capsule's own rows.
+type capsuleHole struct {
+	st *Store
+	id int
+}
+
+func (c *capsuleHole) stamp() rtpattern.Stamp {
+	return c.st.box.Meta.Capsules[c.id].Stamp
+}
+
+func (c *capsuleHole) rows() int { return c.st.box.Meta.Capsules[c.id].Rows }
+
+func (c *capsuleHole) find(part string, kind strmatch.Kind) (*bitset.Set, error) {
+	// The split enumeration of §5.1 asks the same (capsule, part, kind)
+	// question along many possible matches; cache scans per store.
+	key := findKey{id: c.id, kind: kind, part: part}
+	if cached, ok := c.st.findCache[key]; ok {
+		return cached.Clone(), nil
+	}
+	sr, err := c.st.searcher(c.id)
+	if err != nil {
+		return nil, err
+	}
+	set := bitset.New(c.rows())
+	sr.ScanRows(part, kind, func(row int) bool {
+		set.Set(row)
+		return true
+	})
+	c.st.findCache[key] = set
+	return set.Clone(), nil
+}
+
+// realVarHole is a variable vector stored with a single runtime pattern:
+// an inner element sequence over the matched rows plus an optional outlier
+// Capsule. Its row space is the group's rows. (LogGrep-SP vectors are the
+// degenerate case: one sub-variable covering the whole value.)
+type realVarHole struct {
+	st      *Store
+	vm      *capsule.VarMeta
+	n       int // group rows
+	inner   []seqElem
+	innerN  int   // rows of the inner sequence (matched values)
+	matched []int // matched rank -> group row (lazy)
+	stampV  rtpattern.Stamp
+}
+
+func newRealVarHole(st *Store, vm *capsule.VarMeta, groupRows int) *realVarHole {
+	h := &realVarHole{st: st, vm: vm, n: groupRows, innerN: groupRows - len(vm.OutRows)}
+	litLen := 0
+	for _, e := range vm.Pattern {
+		if e.Sub < 0 {
+			h.inner = append(h.inner, seqElem{lit: e.Lit})
+			h.stampV.TypeMask |= rtpattern.TypeMaskOf(e.Lit)
+			litLen += len(e.Lit)
+		} else {
+			h.inner = append(h.inner, seqElem{h: &capsuleHole{st: st, id: e.CapID}})
+			h.stampV.TypeMask |= e.Stamp.TypeMask
+			h.stampV.MaxLen += e.Stamp.MaxLen
+			h.stampV.MinLen += e.Stamp.MinLen
+		}
+	}
+	h.stampV.MaxLen += litLen
+	h.stampV.MinLen += litLen
+	if vm.OutCapID >= 0 {
+		os := st.box.Meta.Capsules[vm.OutCapID].Stamp
+		h.stampV.TypeMask |= os.TypeMask
+		if os.MaxLen > h.stampV.MaxLen {
+			h.stampV.MaxLen = os.MaxLen
+		}
+		if os.MinLen < h.stampV.MinLen {
+			h.stampV.MinLen = os.MinLen
+		}
+	}
+	return h
+}
+
+func (h *realVarHole) stamp() rtpattern.Stamp { return h.stampV }
+func (h *realVarHole) rows() int              { return h.n }
+
+// matchedRows lazily builds the matched-rank → group-row mapping.
+func (h *realVarHole) matchedRows() []int {
+	if h.matched != nil || h.innerN == h.n {
+		return h.matched // nil means identity when there are no outliers
+	}
+	h.matched = make([]int, 0, h.innerN)
+	oi := 0
+	for row := 0; row < h.n; row++ {
+		if oi < len(h.vm.OutRows) && h.vm.OutRows[oi] == row {
+			oi++
+			continue
+		}
+		h.matched = append(h.matched, row)
+	}
+	return h.matched
+}
+
+func (h *realVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, error) {
+	out := bitset.New(h.n)
+	inner, err := h.st.en.matchKind(h.inner, h.innerN, part, kind)
+	if err != nil {
+		return nil, err
+	}
+	if m := h.matchedRows(); m == nil {
+		out.Or(inner)
+	} else {
+		inner.ForEach(func(rank int) bool {
+			out.Set(m[rank])
+			return true
+		})
+	}
+	if h.vm.OutCapID >= 0 {
+		oc := &capsuleHole{st: h.st, id: h.vm.OutCapID}
+		if h.st.en.admits(oc, part) {
+			os, err := oc.find(part, kind)
+			if err != nil {
+				return nil, err
+			}
+			os.ForEach(func(rank int) bool {
+				out.Set(h.vm.OutRows[rank])
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// nominalVarHole is a variable vector stored as a dictionary Capsule plus
+// an index Capsule (Figure 5). Matching first locates dictionary values via
+// the per-pattern runtime patterns (with count/length stamps enabling a
+// direct jump to each pattern's padded segment), then searches the index
+// Capsule only for the dictionary ids that actually matched — skipping the
+// index scan entirely when the dictionary has no hit (§5.1).
+type nominalVarHole struct {
+	st *Store
+	vm *capsule.VarMeta
+	n  int
+}
+
+func (h *nominalVarHole) stamp() rtpattern.Stamp {
+	return h.st.box.Meta.Capsules[h.vm.DictCapID].Stamp
+}
+
+func (h *nominalVarHole) rows() int { return h.n }
+
+func (h *nominalVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, error) {
+	dictIdxs, err := h.findDict(part, kind)
+	if err != nil {
+		return nil, err
+	}
+	out := bitset.New(h.n)
+	if len(dictIdxs) == 0 {
+		return out, nil
+	}
+	idxSr, err := h.st.searcher(h.vm.IndexCapID)
+	if err != nil {
+		return nil, err
+	}
+	if len(dictIdxs) <= 8 {
+		// Few dictionary hits: one Boyer–Moore pass per index id.
+		for _, di := range dictIdxs {
+			key := capsule.FormatIndex(di, h.vm.IndexWidth)
+			idxSr.ScanRows(key, strmatch.Exact, func(row int) bool {
+				out.Set(row)
+				return true
+			})
+		}
+		return out, nil
+	}
+	// Many hits: one membership pass over the index capsule beats
+	// len(dictIdxs) separate scans.
+	dictRows := h.st.box.Meta.Capsules[h.vm.DictCapID].Rows
+	member := bitset.FromRows(dictRows, dictIdxs)
+	for row := 0; row < idxSr.Rows(); row++ {
+		idx := parseDecimal(idxSr.Value(row))
+		if member.Test(idx) {
+			out.Set(row)
+		}
+	}
+	return out, nil
+}
+
+// parseDecimal reads a non-negative fixed-width decimal; index entries are
+// always digits by construction.
+func parseDecimal(b []byte) int {
+	v := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// findDict returns the dictionary positions whose value satisfies
+// (part, kind), scanning only the segments of feasible patterns.
+func (h *nominalVarHole) findDict(part string, kind strmatch.Kind) ([]int, error) {
+	var dictIdxs []int
+	if h.st.padding {
+		payload, err := h.st.box.Payload(h.vm.DictCapID)
+		if err != nil {
+			return nil, err
+		}
+		off, base := 0, 0
+		for _, dp := range h.vm.DictPatterns {
+			w := max(1, dp.MaxLen)
+			segLen := dp.Count * w
+			if off+segLen > len(payload) {
+				return nil, fmt.Errorf("%w: dict capsule %d shorter than its segments", capsule.ErrCorrupt, h.vm.DictCapID)
+			}
+			if h.feasible(dp, part, kind) {
+				fw := strmatch.NewFixedWidth(payload[off:off+segLen], w)
+				b := base
+				fw.ScanRows(part, kind, func(row int) bool {
+					dictIdxs = append(dictIdxs, b+row)
+					return true
+				})
+			}
+			off += segLen
+			base += dp.Count
+		}
+		return dictIdxs, nil
+	}
+	// Unpadded ("w/o fixed"): one variable-length scan over the whole
+	// dictionary; per-pattern jumps are impossible without fixed lengths.
+	sr, err := h.st.searcher(h.vm.DictCapID)
+	if err != nil {
+		return nil, err
+	}
+	sr.ScanRows(part, kind, func(row int) bool {
+		dictIdxs = append(dictIdxs, row)
+		return true
+	})
+	return dictIdxs, nil
+}
+
+// feasible structurally matches (part, kind) against a dictionary runtime
+// pattern using only literals and sub-variable stamps — no data access.
+// It reuses the recursive matcher with 1-row stamp-only holes.
+func (h *nominalVarHole) feasible(dp capsule.DictPatternMeta, part string, kind strmatch.Kind) bool {
+	seq := make([]seqElem, 0, len(dp.Elems))
+	for _, e := range dp.Elems {
+		if e.Sub < 0 {
+			seq = append(seq, seqElem{lit: e.Lit})
+		} else {
+			seq = append(seq, seqElem{h: &stampHole{s: e.Stamp, en: &h.st.en}})
+		}
+	}
+	res, err := h.st.en.matchKind(seq, 1, part, kind)
+	if err != nil {
+		return true // never filter on an internal error
+	}
+	return res.Any()
+}
+
+// stampHole is a 1-row data-free hole whose find answers "could a value
+// with this stamp satisfy the constraint". With stamps disabled (the
+// "w/o stamp" ablation) it is always permissive.
+type stampHole struct {
+	s  rtpattern.Stamp
+	en *engine
+}
+
+func (s *stampHole) stamp() rtpattern.Stamp { return s.s }
+func (s *stampHole) rows() int              { return 1 }
+
+func (s *stampHole) find(part string, kind strmatch.Kind) (*bitset.Set, error) {
+	if !s.en.stamps {
+		return bitset.NewFull(1), nil
+	}
+	ok := s.s.Admits(part)
+	if kind == strmatch.Exact {
+		ok = s.s.AdmitsExact(part)
+	}
+	if part == "" && kind != strmatch.Exact {
+		ok = true
+	}
+	if ok {
+		return bitset.NewFull(1), nil
+	}
+	return bitset.New(1), nil
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/capsule"
+	"loggrep/internal/query"
+	"loggrep/internal/strmatch"
+)
+
+// QueryOptions tune the query side of a Store.
+type QueryOptions struct {
+	// DisableCache turns the Query Cache off ("w/o cache").
+	DisableCache bool
+}
+
+// Store is an opened CapsuleBox ready to answer grep-like queries.
+type Store struct {
+	box            *capsule.Box
+	en             engine
+	padding        bool
+	cacheOn        bool
+	groups         []*qGroup
+	lineIndex      []lineRef
+	searchers      map[int]searcher
+	chunkSearchers map[[2]int]searcher
+	findCache      map[findKey]*bitset.Set
+	qcache         map[string]*Result
+	size           int
+}
+
+// findKey keys the per-store cache of capsule scan results.
+type findKey struct {
+	id   int
+	kind strmatch.Kind
+	part string
+}
+
+// lineRef locates a block line inside the structurized layout.
+type lineRef struct {
+	group int // group index, or -1 for a block-level outlier line
+	row   int // row within the group / rank within the outlier capsule
+}
+
+type qGroup struct {
+	meta *capsule.GroupMeta
+	seq  []seqElem
+	n    int
+}
+
+// Result is the answer to one query: matching line numbers (ascending) and
+// their reconstructed text.
+type Result struct {
+	Lines   []int
+	Entries []string
+	// Decompressions is how many Capsule payloads were decompressed to
+	// answer this query (0 when served from the Query Cache).
+	Decompressions int
+}
+
+// Open parses a CapsuleBox produced by Compress.
+func Open(data []byte, opts QueryOptions) (*Store, error) {
+	box, err := capsule.ReadBox(data)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		box:            box,
+		en:             engine{stamps: box.Meta.Flags&capsule.FlagNoStamps == 0},
+		padding:        box.Meta.Flags&capsule.FlagNoPadding == 0,
+		cacheOn:        !opts.DisableCache,
+		searchers:      make(map[int]searcher),
+		chunkSearchers: make(map[[2]int]searcher),
+		findCache:      make(map[findKey]*bitset.Set),
+		qcache:         make(map[string]*Result),
+		size:           len(data),
+	}
+	st.lineIndex = make([]lineRef, box.Meta.NumLines)
+	for gi := range box.Meta.Groups {
+		g := &box.Meta.Groups[gi]
+		qg := &qGroup{meta: g, n: g.Rows()}
+		for _, te := range g.Template {
+			if te.Var < 0 {
+				qg.seq = append(qg.seq, seqElem{lit: te.Lit})
+				continue
+			}
+			if te.Var >= len(g.Vars) {
+				return nil, fmt.Errorf("%w: template references variable %d of %d", capsule.ErrCorrupt, te.Var, len(g.Vars))
+			}
+			vm := &g.Vars[te.Var]
+			var h hole
+			switch vm.Kind {
+			case capsule.RealVar:
+				if err := st.checkRealVar(vm, qg.n); err != nil {
+					return nil, err
+				}
+				h = newRealVarHole(st, vm, qg.n)
+			case capsule.NominalVar:
+				if err := st.checkNominalVar(vm, qg.n); err != nil {
+					return nil, err
+				}
+				h = &nominalVarHole{st: st, vm: vm, n: qg.n}
+			default:
+				return nil, fmt.Errorf("%w: unknown variable kind", capsule.ErrCorrupt)
+			}
+			qg.seq = append(qg.seq, seqElem{h: h})
+		}
+		for row, line := range g.Lines {
+			if line < 0 || line >= len(st.lineIndex) {
+				return nil, fmt.Errorf("%w: line %d out of range", capsule.ErrCorrupt, line)
+			}
+			st.lineIndex[line] = lineRef{group: gi, row: row}
+		}
+		st.groups = append(st.groups, qg)
+	}
+	for rank, line := range box.Meta.OutlierLines {
+		if line < 0 || line >= len(st.lineIndex) {
+			return nil, fmt.Errorf("%w: outlier line %d out of range", capsule.ErrCorrupt, line)
+		}
+		st.lineIndex[line] = lineRef{group: -1, row: rank}
+	}
+	return st, nil
+}
+
+// checkRealVar validates capsule references before they are dereferenced.
+func (st *Store) checkRealVar(vm *capsule.VarMeta, groupRows int) error {
+	nc := len(st.box.Meta.Capsules)
+	matched := groupRows - len(vm.OutRows)
+	for _, e := range vm.Pattern {
+		if e.Sub < 0 {
+			continue
+		}
+		if e.CapID < 0 || e.CapID >= nc {
+			return fmt.Errorf("%w: bad sub-variable capsule id %d", capsule.ErrCorrupt, e.CapID)
+		}
+		if st.box.Meta.Capsules[e.CapID].Rows != matched {
+			return fmt.Errorf("%w: sub-variable capsule %d has %d rows, want %d", capsule.ErrCorrupt, e.CapID, st.box.Meta.Capsules[e.CapID].Rows, matched)
+		}
+	}
+	if vm.OutCapID >= 0 {
+		if vm.OutCapID >= nc {
+			return fmt.Errorf("%w: bad outlier capsule id", capsule.ErrCorrupt)
+		}
+		if st.box.Meta.Capsules[vm.OutCapID].Rows != len(vm.OutRows) {
+			return fmt.Errorf("%w: outlier capsule rows mismatch", capsule.ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+func (st *Store) checkNominalVar(vm *capsule.VarMeta, groupRows int) error {
+	nc := len(st.box.Meta.Capsules)
+	if vm.DictCapID < 0 || vm.DictCapID >= nc || vm.IndexCapID < 0 || vm.IndexCapID >= nc {
+		return fmt.Errorf("%w: bad dict/index capsule id", capsule.ErrCorrupt)
+	}
+	if st.box.Meta.Capsules[vm.IndexCapID].Rows != groupRows {
+		return fmt.Errorf("%w: index capsule rows mismatch", capsule.ErrCorrupt)
+	}
+	total := 0
+	for _, dp := range vm.DictPatterns {
+		if dp.Count < 0 || dp.MaxLen < 0 {
+			return fmt.Errorf("%w: bad dict pattern", capsule.ErrCorrupt)
+		}
+		total += dp.Count
+	}
+	if total != st.box.Meta.Capsules[vm.DictCapID].Rows {
+		return fmt.Errorf("%w: dict pattern counts mismatch", capsule.ErrCorrupt)
+	}
+	if vm.IndexWidth < 1 {
+		return fmt.Errorf("%w: bad index width", capsule.ErrCorrupt)
+	}
+	return nil
+}
+
+// value fetches the row-th value of a capsule. For chunked capsules whose
+// full payload is not already materialized, only the chunk containing the
+// row is decompressed — the point of Options.ChunkBytes.
+func (st *Store) value(id, row int) ([]byte, error) {
+	info := st.box.Meta.Capsules[id]
+	if row < 0 || row >= info.Rows {
+		return nil, fmt.Errorf("%w: row %d beyond capsule %d", capsule.ErrCorrupt, row, id)
+	}
+	if info.ChunkRows > 0 && st.box.ChunkCount(id) > 1 {
+		if _, whole := st.searchers[id]; !whole {
+			ci := row / info.ChunkRows
+			key := [2]int{id, ci}
+			sr, ok := st.chunkSearchers[key]
+			if !ok {
+				chunk, err := st.box.PayloadChunk(id, ci)
+				if err != nil {
+					return nil, err
+				}
+				rowsIn := min(info.ChunkRows, info.Rows-ci*info.ChunkRows)
+				if info.Width > 0 {
+					sr = strmatch.NewFixedWidth(chunk, info.Width)
+				} else {
+					sr = strmatch.NewVarWidth(chunk, rowsIn)
+				}
+				if sr.Rows() != rowsIn {
+					return nil, fmt.Errorf("%w: capsule %d chunk %d has %d rows, want %d", capsule.ErrCorrupt, id, ci, sr.Rows(), rowsIn)
+				}
+				st.chunkSearchers[key] = sr
+			}
+			return sr.Value(row - ci*info.ChunkRows), nil
+		}
+	}
+	sr, err := st.searcher(id)
+	if err != nil {
+		return nil, err
+	}
+	if row >= sr.Rows() {
+		return nil, fmt.Errorf("%w: row %d beyond capsule %d", capsule.ErrCorrupt, row, id)
+	}
+	return sr.Value(row), nil
+}
+
+// searcher returns the cached payload searcher of a capsule.
+func (st *Store) searcher(id int) (searcher, error) {
+	if sr, ok := st.searchers[id]; ok {
+		return sr, nil
+	}
+	payload, err := st.box.Payload(id)
+	if err != nil {
+		return nil, err
+	}
+	info := st.box.Meta.Capsules[id]
+	var sr searcher
+	if info.Width > 0 {
+		sr = strmatch.NewFixedWidth(payload, info.Width)
+	} else {
+		sr = strmatch.NewVarWidth(payload, info.Rows)
+	}
+	st.searchers[id] = sr
+	return sr, nil
+}
+
+// NumLines returns the number of entries in the block.
+func (st *Store) NumLines() int { return st.box.Meta.NumLines }
+
+// CompressedSize returns the size of the CapsuleBox in bytes.
+func (st *Store) CompressedSize() int { return st.size }
+
+// Decompressions returns the number of capsule payloads decompressed since
+// the store was opened (or since ResetCounters).
+func (st *Store) Decompressions() int { return st.box.Decompressions }
+
+// ResetCounters drops decompressed payload caches and counters, modelling a
+// cold query.
+func (st *Store) ResetCounters() {
+	st.box.DropCache()
+	st.searchers = make(map[int]searcher)
+	st.chunkSearchers = make(map[[2]int]searcher)
+	st.findCache = make(map[findKey]*bitset.Set)
+}
+
+// ClearCache empties the Query Cache.
+func (st *Store) ClearCache() { st.qcache = make(map[string]*Result) }
+
+// Query executes a grep-like command ("error AND dst:11.8.* NOT state:503")
+// and returns matching entries in block order.
+//
+// Evaluation has two phases. The filtering phase computes, per search
+// string, a superset of matching lines using runtime-pattern matching and
+// Capsule-stamp filtering (§5.1), and combines those supersets across
+// AND/OR (a NOT operand contributes "all lines", keeping the union an
+// over-approximation). The verification phase reconstructs only the
+// surviving candidate lines and evaluates the exact expression on their
+// text, so results are precisely what grep on the raw block would return.
+func (st *Store) Query(command string) (*Result, error) {
+	if st.cacheOn {
+		if r, ok := st.qcache[command]; ok {
+			return &Result{Lines: r.Lines, Entries: r.Entries}, nil
+		}
+	}
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, err
+	}
+	d0 := st.box.Decompressions
+	cand, err := st.overApprox(expr)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var verr error
+	cand.ForEach(func(line int) bool {
+		entry, err := st.ReconstructLine(line)
+		if err != nil {
+			verr = err
+			return false
+		}
+		if exprMatch(expr, entry) {
+			res.Lines = append(res.Lines, line)
+			res.Entries = append(res.Entries, entry)
+		}
+		return true
+	})
+	if verr != nil {
+		return nil, verr
+	}
+	res.Decompressions = st.box.Decompressions - d0
+	if st.cacheOn {
+		st.qcache[command] = res
+	}
+	return res, nil
+}
+
+// exprMatch evaluates a query expression exactly against one entry's text.
+func exprMatch(e query.Expr, entry string) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return exprMatch(x.L, entry) && exprMatch(x.R, entry)
+	case *query.Or:
+		return exprMatch(x.L, entry) || exprMatch(x.R, entry)
+	case *query.Not:
+		return !exprMatch(x.X, entry)
+	case *query.Search:
+		return x.MatchEntry(entry)
+	}
+	return false
+}
+
+// overApprox returns a superset of the lines matching the expression.
+// NOT nodes yield the full set (complementing a superset would not be
+// sound); their pruning happens in the verification phase, just as
+// "grep -v" scans what earlier pipeline stages let through.
+func (st *Store) overApprox(e query.Expr) (*bitset.Set, error) {
+	switch x := e.(type) {
+	case *query.And:
+		l, err := st.overApprox(x.L)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Any() {
+			return l, nil
+		}
+		r, err := st.overApprox(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.And(r), nil
+	case *query.Or:
+		l, err := st.overApprox(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.overApprox(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.Or(r), nil
+	case *query.Not:
+		return bitset.NewFull(st.NumLines()), nil
+	case *query.Search:
+		return st.searchCandidates(x)
+	}
+	return nil, fmt.Errorf("core: unknown query node %T", e)
+}
+
+// searchCandidates computes one search string's candidate superset: per
+// group, the intersection over the string's fragments of the rows whose
+// entries may contain the fragment (runtime-pattern matching plus stamp
+// filtering); block-level outlier lines are always scanned (§4.1).
+func (st *Store) searchCandidates(s *query.Search) (*bitset.Set, error) {
+	lines := bitset.New(st.NumLines())
+	// Longest fragments are the most selective (CLP queries its
+	// "obscurest" keyword first for the same reason); putting them first
+	// lets the per-group intersection go empty before cheaper fragments
+	// are even looked up.
+	frags := append([]string(nil), s.Fragments...)
+	sort.Slice(frags, func(i, j int) bool { return len(frags[i]) > len(frags[j]) })
+	for gi, g := range st.groups {
+		cand := bitset.NewFull(g.n)
+		for _, frag := range frags {
+			if !cand.Any() {
+				break
+			}
+			fs, err := st.en.findSubstr(g.seq, g.n, frag)
+			if err != nil {
+				return nil, err
+			}
+			cand.And(fs)
+		}
+		cand.ForEach(func(row int) bool {
+			lines.Set(st.groups[gi].meta.Lines[row])
+			return true
+		})
+	}
+	// Outlier lines match no template; every query scans them.
+	if oc := st.box.Meta.OutlierCapID; oc >= 0 {
+		sr, err := st.searcher(oc)
+		if err != nil {
+			return nil, err
+		}
+		for rank, line := range st.box.Meta.OutlierLines {
+			if s.MatchEntry(string(sr.Value(rank))) {
+				lines.Set(line)
+			}
+		}
+	}
+	return lines, nil
+}
+
+// ReconstructLine rebuilds the original text of one block line.
+func (st *Store) ReconstructLine(line int) (string, error) {
+	if line < 0 || line >= len(st.lineIndex) {
+		return "", fmt.Errorf("core: line %d out of range", line)
+	}
+	ref := st.lineIndex[line]
+	if ref.group < 0 {
+		sr, err := st.searcher(st.box.Meta.OutlierCapID)
+		if err != nil {
+			return "", err
+		}
+		return string(sr.Value(ref.row)), nil
+	}
+	return st.reconstructRow(ref.group, ref.row)
+}
+
+// reconstructRow rebuilds entry row of group gi by fetching the row-th
+// value of every Capsule of the group (O(1) per value thanks to padding)
+// and filling the static and runtime patterns (§3 Reconstruction).
+func (st *Store) reconstructRow(gi, row int) (string, error) {
+	g := st.groups[gi]
+	var out []byte
+	for _, te := range g.meta.Template {
+		if te.Var < 0 {
+			out = append(out, te.Lit...)
+			continue
+		}
+		val, err := st.varValue(&g.meta.Vars[te.Var], row)
+		if err != nil {
+			return "", err
+		}
+		out = append(out, val...)
+	}
+	return string(out), nil
+}
+
+// varValue fetches the row-th value of one variable vector.
+func (st *Store) varValue(vm *capsule.VarMeta, row int) (string, error) {
+	switch vm.Kind {
+	case capsule.RealVar:
+		if len(vm.OutRows) > 0 {
+			oi := sort.SearchInts(vm.OutRows, row)
+			if oi < len(vm.OutRows) && vm.OutRows[oi] == row {
+				v, err := st.value(vm.OutCapID, oi)
+				if err != nil {
+					return "", err
+				}
+				return string(v), nil
+			}
+			row -= oi // rank among matched rows
+		}
+		var out []byte
+		for _, e := range vm.Pattern {
+			if e.Sub < 0 {
+				out = append(out, e.Lit...)
+				continue
+			}
+			v, err := st.value(e.CapID, row)
+			if err != nil {
+				return "", err
+			}
+			out = append(out, v...)
+		}
+		return string(out), nil
+
+	case capsule.NominalVar:
+		iv, err := st.value(vm.IndexCapID, row)
+		if err != nil {
+			return "", err
+		}
+		idx, err := strconv.Atoi(string(iv))
+		if err != nil {
+			return "", fmt.Errorf("%w: bad index entry: %v", capsule.ErrCorrupt, err)
+		}
+		return st.dictValue(vm, idx)
+	}
+	return "", fmt.Errorf("%w: unknown variable kind", capsule.ErrCorrupt)
+}
+
+// dictValue fetches dictionary entry idx, jumping to its pattern's segment
+// via the (count, length) stamps when the dictionary is padded.
+func (st *Store) dictValue(vm *capsule.VarMeta, idx int) (string, error) {
+	if !st.padding {
+		sr, err := st.searcher(vm.DictCapID)
+		if err != nil {
+			return "", err
+		}
+		if idx < 0 || idx >= sr.Rows() {
+			return "", fmt.Errorf("%w: dict index %d out of range", capsule.ErrCorrupt, idx)
+		}
+		return string(sr.Value(idx)), nil
+	}
+	payload, err := st.box.Payload(vm.DictCapID)
+	if err != nil {
+		return "", err
+	}
+	off, base := 0, 0
+	for _, dp := range vm.DictPatterns {
+		w := max(1, dp.MaxLen)
+		if off+dp.Count*w > len(payload) {
+			return "", fmt.Errorf("%w: dict capsule %d shorter than its segments", capsule.ErrCorrupt, vm.DictCapID)
+		}
+		if idx < base+dp.Count {
+			fw := strmatch.NewFixedWidth(payload[off:off+dp.Count*w], w)
+			return string(fw.Value(idx - base)), nil
+		}
+		off += dp.Count * w
+		base += dp.Count
+	}
+	return "", fmt.Errorf("%w: dict index %d out of range", capsule.ErrCorrupt, idx)
+}
+
+// ReconstructAll rebuilds the entire block, one string per line.
+func (st *Store) ReconstructAll() ([]string, error) {
+	out := make([]string, st.NumLines())
+	for line := range out {
+		s, err := st.ReconstructLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out[line] = s
+	}
+	return out, nil
+}

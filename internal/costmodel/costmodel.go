@@ -1,0 +1,123 @@
+// Package costmodel implements Equation 1 of the paper: the overall cost of
+// a near-line log storage system over its retention period, combining
+// storage cost for the compressed data, computation cost to compress, and
+// computation cost to execute queries.
+//
+//	C_total = C_storage × Duration × Size/CompressionRatio
+//	        + C_cpu × Size/CompressionSpeed
+//	        + C_cpu × QueryLatency × QueryFrequency
+package costmodel
+
+import "fmt"
+
+// GB is 10^9 bytes, matching cloud-provider billing.
+const GB = 1e9
+
+// TB is 10^12 bytes.
+const TB = 1e12
+
+// Params are the billing constants. Defaults come from §6 of the paper.
+type Params struct {
+	// StoragePerGBMonth is the storage price ($/GB/month), erasure coding
+	// included. Paper: $0.017.
+	StoragePerGBMonth float64
+	// Months is the retention duration. Paper: 6 months.
+	Months float64
+	// CPUPerHour is the compute price for one CPU ($/hour). Paper: $0.016.
+	CPUPerHour float64
+	// Queries is how many queries run over the retention period.
+	// Paper default: 100.
+	Queries float64
+}
+
+// Default returns the paper's parameters.
+func Default() Params {
+	return Params{StoragePerGBMonth: 0.017, Months: 6, CPUPerHour: 0.016, Queries: 100}
+}
+
+// Metrics are the measured properties of one system on one workload.
+type Metrics struct {
+	// RawBytes is the uncompressed size of the measured sample.
+	RawBytes int64
+	// CompressedBytes is its compressed size.
+	CompressedBytes int64
+	// CompressSeconds is single-CPU time to compress the sample.
+	CompressSeconds float64
+	// QuerySeconds is single-CPU latency of one query on the sample.
+	QuerySeconds float64
+}
+
+// Ratio returns the compression ratio.
+func (m Metrics) Ratio() float64 {
+	if m.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(m.RawBytes) / float64(m.CompressedBytes)
+}
+
+// CompressionMBps returns compression speed in MB/s.
+func (m Metrics) CompressionMBps() float64 {
+	if m.CompressSeconds == 0 {
+		return 0
+	}
+	return float64(m.RawBytes) / 1e6 / m.CompressSeconds
+}
+
+// Breakdown is the per-component cost in dollars.
+type Breakdown struct {
+	Storage     float64
+	Compression float64
+	Query       float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Storage + b.Compression + b.Query }
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("storage=$%.3f compression=$%.3f query=$%.3f total=$%.3f",
+		b.Storage, b.Compression, b.Query, b.Total())
+}
+
+// CostPerTB extrapolates measured metrics to the cost of storing and
+// querying one TB of raw logs, the unit Figure 8 reports. Compression time
+// and query latency scale linearly with data size for every system under
+// test (all are single-pass over their candidate sets).
+func (p Params) CostPerTB(m Metrics) Breakdown {
+	if m.RawBytes == 0 {
+		return Breakdown{}
+	}
+	scale := TB / float64(m.RawBytes)
+	compressedGB := float64(m.CompressedBytes) * scale / GB
+	cpuHourPrice := p.CPUPerHour
+	return Breakdown{
+		Storage:     p.StoragePerGBMonth * p.Months * compressedGB,
+		Compression: cpuHourPrice * (m.CompressSeconds * scale / 3600),
+		Query:       cpuHourPrice * (m.QuerySeconds * scale / 3600) * p.Queries,
+	}
+}
+
+// CrossoverQueries returns the query count at which system a's total cost
+// equals system b's, assuming both scale linearly in query count. It
+// returns (q, true) when a positive finite crossover exists: for q queries
+// above (below) the returned value, the system with the cheaper marginal
+// query cost wins. The paper uses this to show how many queries ES needs
+// to beat LogGrep (§6.1: 7,447–542,194).
+func (p Params) CrossoverQueries(a, b Metrics) (float64, bool) {
+	pa := p
+	pa.Queries = 0
+	fixedA := pa.CostPerTB(a).Total()
+	fixedB := pa.CostPerTB(b).Total()
+	scaleA := TB / float64(a.RawBytes)
+	scaleB := TB / float64(b.RawBytes)
+	perQueryA := p.CPUPerHour * a.QuerySeconds * scaleA / 3600
+	perQueryB := p.CPUPerHour * b.QuerySeconds * scaleB / 3600
+	if perQueryA == perQueryB {
+		return 0, false
+	}
+	q := (fixedB - fixedA) / (perQueryA - perQueryB)
+	if q <= 0 {
+		return 0, false
+	}
+	return q, true
+}

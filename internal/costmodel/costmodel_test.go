@@ -1,0 +1,124 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	p := Default()
+	if p.StoragePerGBMonth != 0.017 || p.Months != 6 || p.CPUPerHour != 0.016 || p.Queries != 100 {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestRatioAndSpeed(t *testing.T) {
+	m := Metrics{RawBytes: 100e6, CompressedBytes: 10e6, CompressSeconds: 10}
+	if m.Ratio() != 10 {
+		t.Fatalf("ratio = %v", m.Ratio())
+	}
+	if m.CompressionMBps() != 10 {
+		t.Fatalf("speed = %v", m.CompressionMBps())
+	}
+	if (Metrics{}).Ratio() != 0 || (Metrics{}).CompressionMBps() != 0 {
+		t.Fatal("zero metrics should yield zero derived values")
+	}
+}
+
+func TestCostPerTBKnownValues(t *testing.T) {
+	// 1 TB raw at ratio 10 → 100 GB stored for 6 months at $0.017:
+	// storage = 0.017*6*100 = $10.20.
+	// Compression at 100 MB/s → 10^12/10^8 s = 10^4 s = 2.7778 h → $0.04444.
+	// One query takes 3600 s per TB → 1 h × $0.016 × 100 queries = $1.60.
+	m := Metrics{
+		RawBytes:        1e12,
+		CompressedBytes: 1e11,
+		CompressSeconds: 1e4,
+		QuerySeconds:    3600,
+	}
+	b := Default().CostPerTB(m)
+	if math.Abs(b.Storage-10.20) > 1e-9 {
+		t.Errorf("storage = %v, want 10.20", b.Storage)
+	}
+	if math.Abs(b.Compression-0.016*1e4/3600) > 1e-9 {
+		t.Errorf("compression = %v", b.Compression)
+	}
+	if math.Abs(b.Query-1.60) > 1e-9 {
+		t.Errorf("query = %v, want 1.60", b.Query)
+	}
+	if math.Abs(b.Total()-(b.Storage+b.Compression+b.Query)) > 1e-12 {
+		t.Error("total mismatch")
+	}
+}
+
+func TestCostScalesFromSample(t *testing.T) {
+	// Measuring on a 1 GB sample must extrapolate to the same $/TB as
+	// measuring on the full TB with proportional metrics.
+	full := Metrics{RawBytes: 1e12, CompressedBytes: 5e10, CompressSeconds: 2e4, QuerySeconds: 100}
+	sample := Metrics{RawBytes: 1e9, CompressedBytes: 5e7, CompressSeconds: 20, QuerySeconds: 0.1}
+	bf := Default().CostPerTB(full)
+	bs := Default().CostPerTB(sample)
+	if math.Abs(bf.Total()-bs.Total()) > 1e-9 {
+		t.Fatalf("full=%v sample=%v", bf.Total(), bs.Total())
+	}
+}
+
+func TestCrossoverQueries(t *testing.T) {
+	p := Default()
+	// ES-like: cheap queries, huge storage. LG-like: cheap storage,
+	// pricier queries.
+	es := Metrics{RawBytes: 1e9, CompressedBytes: 2e9, CompressSeconds: 100, QuerySeconds: 0.01}
+	lg := Metrics{RawBytes: 1e9, CompressedBytes: 5e7, CompressSeconds: 50, QuerySeconds: 1}
+	q, ok := p.CrossoverQueries(lg, es)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	// At q queries the totals must be equal.
+	pa := p
+	pa.Queries = q
+	ca := pa.CostPerTB(lg).Total()
+	cb := pa.CostPerTB(es).Total()
+	if math.Abs(ca-cb)/ca > 1e-9 {
+		t.Fatalf("costs at crossover differ: %v vs %v", ca, cb)
+	}
+	// Below the crossover LG must be cheaper.
+	pa.Queries = q / 2
+	if pa.CostPerTB(lg).Total() >= pa.CostPerTB(es).Total() {
+		t.Fatal("LG should win below the crossover")
+	}
+}
+
+func TestCrossoverDegenerate(t *testing.T) {
+	p := Default()
+	m := Metrics{RawBytes: 1e9, CompressedBytes: 1e8, CompressSeconds: 10, QuerySeconds: 1}
+	if _, ok := p.CrossoverQueries(m, m); ok {
+		t.Fatal("identical systems cannot cross over")
+	}
+	// A system worse in both dimensions never crosses over.
+	worse := Metrics{RawBytes: 1e9, CompressedBytes: 2e8, CompressSeconds: 10, QuerySeconds: 2}
+	if _, ok := p.CrossoverQueries(m, worse); ok {
+		t.Fatal("dominated system cannot cross over")
+	}
+}
+
+// Property: cost is monotone in every metric.
+func TestQuickCostMonotone(t *testing.T) {
+	p := Default()
+	f := func(comp uint32, qsec uint16) bool {
+		base := Metrics{RawBytes: 1e9, CompressedBytes: 1e8, CompressSeconds: 10, QuerySeconds: 1}
+		grown := base
+		grown.CompressedBytes += int64(comp % 1e6)
+		grown.QuerySeconds += float64(qsec) / 100
+		return p.CostPerTB(grown).Total() >= p.CostPerTB(base).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroRawBytes(t *testing.T) {
+	if b := Default().CostPerTB(Metrics{}); b.Total() != 0 {
+		t.Fatal("zero raw bytes should cost nothing")
+	}
+}

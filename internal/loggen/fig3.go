@@ -1,0 +1,108 @@
+package loggen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LabeledVector is a synthetic variable vector with ground truth for the
+// Figure 3 experiment: whether a single runtime pattern covers at least 90%
+// of its values (single-pattern) or not (multi-pattern).
+type LabeledVector struct {
+	Values       []string
+	MultiPattern bool
+}
+
+// Fig3Corpus generates n labeled variable vectors whose duplication rates
+// span [0, 1] with the bathtub shape the paper observes (Figure 3): mass
+// at both ends and a thin middle. Low-duplication vectors are
+// overwhelmingly single-pattern (ids, timestamps, block numbers) while the
+// high-duplication side mixes single-pattern enums with multi-pattern
+// dictionaries (paths vs codes vs words).
+func Fig3Corpus(seed int64, n int) []LabeledVector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LabeledVector, 0, n)
+	for i := 0; i < n; i++ {
+		size := 200 + rng.Intn(400)
+		// Bathtub-shaped duplication target.
+		var dup float64
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			dup = rng.Float64() * 0.1 // left wall
+		case r < 0.65:
+			dup = 0.9 + rng.Float64()*0.1 // right wall
+		default:
+			dup = rng.Float64() // thin uniform middle
+		}
+		// Low-duplication vectors are single-pattern with ~85%
+		// probability; high-duplication ones are multi-pattern with ~60%.
+		var multi bool
+		if dup < 0.5 {
+			multi = rng.Float64() < 0.15
+		} else {
+			multi = rng.Float64() < 0.60
+		}
+
+		poolSize := int(float64(size)*(1-dup) + 0.5)
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		var gens []func(*rand.Rand) string
+		if multi {
+			gens = []func(*rand.Rand) string{pickIDGen(rng), pickPathGen(rng), pickEnumGen(rng)}
+		} else {
+			gens = []func(*rand.Rand) string{pickIDGen(rng)}
+		}
+		// Build a pool of exactly poolSize distinct values, emit each pool
+		// value once and fill the rest with repeats, so the realized
+		// duplication rate matches the target.
+		pool := make([]string, 0, poolSize)
+		seen := map[string]struct{}{}
+		for len(pool) < poolSize {
+			v := gens[len(pool)%len(gens)](rng)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			pool = append(pool, v)
+		}
+		vals := make([]string, 0, size)
+		vals = append(vals, pool...)
+		for len(vals) < size {
+			vals = append(vals, pool[rng.Intn(len(pool))])
+		}
+		rng.Shuffle(len(vals), func(a, b int) { vals[a], vals[b] = vals[b], vals[a] })
+		out = append(out, LabeledVector{Values: vals, MultiPattern: multi})
+	}
+	return out
+}
+
+func pickIDGen(rng *rand.Rand) func(*rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return func(r *rand.Rand) string { return fmt.Sprintf("blk_%d", 1e8+r.Int63n(9e8)) }
+	case 1:
+		return func(r *rand.Rand) string { return fmt.Sprintf("req-%06d", r.Intn(1000000)) }
+	case 2:
+		return func(r *rand.Rand) string {
+			return fmt.Sprintf("2021-01-%02d.%02d:%02d:%02d", r.Intn(28)+1, r.Intn(24), r.Intn(60), r.Intn(60))
+		}
+	default:
+		return func(r *rand.Rand) string { return fmt.Sprintf("T%04X%04X", r.Intn(65536), r.Intn(65536)) }
+	}
+}
+
+func pickPathGen(rng *rand.Rand) func(*rand.Rand) string {
+	root := []string{"/root/usr/admin", "/var/log/app", "/tmp/cache"}[rng.Intn(3)]
+	return func(r *rand.Rand) string { return fmt.Sprintf("%s/%04x.log", root, r.Intn(65536)) }
+}
+
+func pickEnumGen(rng *rand.Rand) func(*rand.Rand) string {
+	words := []string{"SUCC", "RETRY", "TIMEOUT", "ABORT", "OK"}
+	return func(r *rand.Rand) string {
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%s%d", words[r.Intn(len(words))], r.Intn(100))
+		}
+		return words[r.Intn(len(words))]
+	}
+}

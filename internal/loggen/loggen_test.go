@@ -1,0 +1,159 @@
+package loggen
+
+import (
+	"strings"
+	"testing"
+
+	"loggrep/internal/query"
+)
+
+func TestAllTypesPresent(t *testing.T) {
+	prod, pub := Production(), Public()
+	if len(prod) != 21 {
+		t.Fatalf("production types = %d, want 21", len(prod))
+	}
+	if len(pub) != 16 {
+		t.Fatalf("public types = %d, want 16", len(pub))
+	}
+	seen := map[string]bool{}
+	for _, lt := range All() {
+		if lt.Name == "" || lt.Query == "" || lt.line == nil {
+			t.Errorf("type %+v incomplete", lt.Name)
+		}
+		if seen[lt.Name] {
+			t.Errorf("duplicate type %s", lt.Name)
+		}
+		seen[lt.Name] = true
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for _, lt := range All() {
+		a := lt.Lines(7, 50)
+		b := lt.Lines(7, 50)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: line %d differs between equal seeds", lt.Name, i)
+			}
+		}
+		c := lt.Lines(8, 50)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical output", lt.Name)
+		}
+	}
+}
+
+func TestLinesAreCleanText(t *testing.T) {
+	for _, lt := range All() {
+		for i, l := range lt.Lines(3, 400) {
+			if strings.ContainsAny(l, "\n\x00") {
+				t.Fatalf("%s line %d contains newline or NUL: %q", lt.Name, i, l)
+			}
+			if l == "" {
+				t.Fatalf("%s line %d empty", lt.Name, i)
+			}
+		}
+	}
+}
+
+// Every log type's query must parse and match at least one generated line
+// (the planted needles), and nonempty results must be a strict subset.
+func TestQueriesHitNeedles(t *testing.T) {
+	for _, lt := range All() {
+		expr, err := query.Parse(lt.Query)
+		if err != nil {
+			t.Errorf("%s: query %q does not parse: %v", lt.Name, lt.Query, err)
+			continue
+		}
+		lines := lt.Lines(11, 2000)
+		matches := 0
+		for _, l := range lines {
+			if matchExpr(expr, l) {
+				matches++
+			}
+		}
+		if matches == 0 {
+			t.Errorf("%s: query %q matches nothing in 2000 lines", lt.Name, lt.Query)
+		}
+		if matches == len(lines) {
+			t.Errorf("%s: query %q matches everything — useless workload", lt.Name, lt.Query)
+		}
+	}
+}
+
+func matchExpr(e query.Expr, line string) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return matchExpr(x.L, line) && matchExpr(x.R, line)
+	case *query.Or:
+		return matchExpr(x.L, line) || matchExpr(x.R, line)
+	case *query.Not:
+		return !matchExpr(x.X, line)
+	case *query.Search:
+		return x.MatchEntry(line)
+	}
+	return false
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("A"); !ok {
+		t.Fatal("type A missing")
+	}
+	if _, ok := ByName("Hdfs"); !ok {
+		t.Fatal("type Hdfs missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown type found")
+	}
+}
+
+func TestBlockFormat(t *testing.T) {
+	lt, _ := ByName("A")
+	block := lt.Block(1, 10)
+	if block[len(block)-1] != '\n' {
+		t.Fatal("block does not end with newline")
+	}
+	if got := strings.Count(string(block), "\n"); got != 10 {
+		t.Fatalf("block has %d lines, want 10", got)
+	}
+}
+
+func TestFig3CorpusShape(t *testing.T) {
+	corpus := Fig3Corpus(5, 500)
+	if len(corpus) != 500 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+	lowSingle, lowMulti, highSingle, highMulti := 0, 0, 0, 0
+	for _, v := range corpus {
+		uniq := map[string]struct{}{}
+		for _, x := range v.Values {
+			uniq[x] = struct{}{}
+		}
+		dup := float64(len(v.Values)-len(uniq)) / float64(len(v.Values))
+		switch {
+		case dup < 0.5 && !v.MultiPattern:
+			lowSingle++
+		case dup < 0.5 && v.MultiPattern:
+			lowMulti++
+		case dup >= 0.5 && !v.MultiPattern:
+			highSingle++
+		default:
+			highMulti++
+		}
+	}
+	// Figure 3's shape: low-dup vectors are mostly single-pattern; the
+	// high-dup side has both kinds.
+	if lowSingle <= lowMulti*3 {
+		t.Errorf("low-dup region not single-pattern dominated: %d single vs %d multi", lowSingle, lowMulti)
+	}
+	if highMulti == 0 || highSingle == 0 {
+		t.Errorf("high-dup region missing a class: %d single, %d multi", highSingle, highMulti)
+	}
+}

@@ -1,0 +1,257 @@
+package loggen
+
+import "fmt"
+
+// Production returns the 21 production-like log types A–U. Each mirrors a
+// distinct cloud-application flavour from the paper's Table 1 queries:
+// request tracing, metering, chunk servers, packet handlers, sudo audit
+// logs, trie services, and so on.
+func Production() []LogType {
+	level := func(c *ctx) string { return c.pick("INFO", "INFO", "INFO", "WARNING", "ERROR") }
+	return []LogType{
+		{
+			Name: "A", Class: "production",
+			Query: "ERROR AND state:REQ_ST_CLOSED AND 20012 AND reqId:5E9D21AD5E473938",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s req reqId:%s state:%s code:%d peer 11.187.%d.%d",
+					c.stamp(), level(c), c.hexs(16),
+					c.pick("REQ_ST_OPEN", "REQ_ST_ACTIVE", "REQ_ST_CLOSED", "REQ_ST_IDLE"),
+					c.num(20000, 20099), c.num(0, 255), c.num(0, 255))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR req reqId:5E9D21AD5E473938 state:REQ_ST_CLOSED code:20012 peer 11.187.%d.%d",
+					c.stamp(), c.num(0, 255), c.num(0, 255))
+			},
+		},
+		{
+			Name: "B", Class: "production",
+			Query: "ERROR AND Project:2963 AND RequestId:5EA6F82FDF142E2",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s gateway Project:%d RequestId:%s latency=%dus",
+					c.stamp(), level(c), c.num(1000, 9999), c.hexs(15), c.num(10, 90000))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR gateway Project:2963 RequestId:5EA6F82FDF142E2 latency=%dus", c.stamp(), c.num(10, 90000))
+			},
+		},
+		{
+			Name: "C", Class: "production",
+			Query: "ERROR",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s scheduler job-%d on node-%d took %dms",
+					c.stamp(), level(c), c.num(1, 100000), c.num(1, 64), c.num(1, 5000))
+			},
+		},
+		{
+			Name: "D", Class: "production",
+			Query: "project_id:30935 AND logstore:res_p AND inflow:5",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO meter project_id:%d logstore:%s inflow:%d outflow:%d",
+					c.stamp(), c.num(10000, 99999),
+					c.pick("res_p", "res_q", "acc_log", "web_front", "ops_metrics"),
+					c.num(0, 99), c.num(0, 99))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO meter project_id:30935 logstore:res_p inflow:5 outflow:%d", c.stamp(), c.num(0, 99))
+			},
+		},
+		{
+			Name: "E", Class: "production",
+			Query: "project:161 AND logstore:ops_ay87a AND shard:99 AND wcount:10",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO shardsvc project:%d logstore:ops_ay%d%s shard:%d wcount:%d rcount:%d",
+					c.stamp(), c.num(100, 999), c.num(10, 99), c.hexlo(1), c.num(0, 127), c.num(0, 40), c.num(0, 40))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO shardsvc project:161 logstore:ops_ay87a shard:99 wcount:10 rcount:%d", c.stamp(), c.num(0, 40))
+			},
+		},
+		{
+			Name: "F", Class: "production",
+			Query: "ERROR NOT UserId:-2",
+			line: func(c *ctx) string {
+				uid := "-2"
+				if c.r.Intn(4) == 0 {
+					uid = fmt.Sprintf("%d", c.num(1, 99999))
+				}
+				return fmt.Sprintf("%s %s auth UserId:%s action:%s quota=%d",
+					c.stamp(), level(c), uid, c.pick("LOGIN", "LOGOUT", "RENEW", "REVOKE"), c.num(0, 100))
+			},
+		},
+		{
+			Name: "G", Class: "production",
+			Query: "Operation:ReadChunk AND SATADiskId:7 AND From:tcp://10.187.23.45:3212 AND TraceId:3615b60b169820bf160d4acd7b8b8732",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO chunksvr Operation:%s SATADiskId:%d From:tcp://10.187.%d.%d:%d TraceId:%s size=%d",
+					c.stamp(), c.pick("ReadChunk", "WriteChunk", "SealChunk", "CopyChunk"),
+					c.num(0, 11), c.num(0, 255), c.num(0, 255), c.num(1024, 65535), c.hexlo(32), c.num(512, 1<<20))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO chunksvr Operation:ReadChunk SATADiskId:7 From:tcp://10.187.23.45:3212 TraceId:3615b60b169820bf160d4acd7b8b8732 size=%d",
+					c.stamp(), c.num(512, 1<<20))
+			},
+		},
+		{
+			Name: "H", Class: "production",
+			Query: "ERROR",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s kv get key=/root/usr/admin/%s.cfg rc=%d cost=%dus",
+					c.stamp(), level(c), c.hexlo(8), c.num(0, 5), c.num(1, 9999))
+			},
+		},
+		{
+			Name: "I", Class: "production",
+			Query: "WARNING AND 2019-11-06 07",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2019-11-%02d %02d:%02d:%02d %s sync table-%d rows=%d",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), level(c), c.num(1, 40), c.num(0, 100000))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2019-11-06 07:%02d:%02d WARNING sync table-%d rows=%d",
+					c.num(0, 59), c.num(0, 59), c.num(1, 40), c.num(0, 100000))
+			},
+		},
+		{
+			Name: "J", Class: "production",
+			Query: "TraceType:PanguTraceSummary AND SectionType:RPC_SealAndNew NOT CountFail:0",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO TraceType:%s SectionType:%s CountFail:%d CountOk:%d",
+					c.stamp(), c.pick("PanguTraceSummary", "PanguTraceDetail", "FuxiTrace"),
+					c.pick("RPC_SealAndNew", "RPC_Append", "RPC_Open", "RPC_Close"),
+					c.num(0, 2), c.num(0, 500))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s INFO TraceType:PanguTraceSummary SectionType:RPC_SealAndNew CountFail:%d CountOk:%d",
+					c.stamp(), c.num(1, 9), c.num(0, 500))
+			},
+		},
+		{
+			Name: "K", Class: "production",
+			Query: "DELETE AND /results/0 AND 2019-11-04T02:26",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s /results/%d %s %d",
+					c.iso(), c.pick("GET", "GET", "PUT", "POST", "DELETE"), c.num(0, 50), c.pick("200", "200", "204", "404", "500"), c.num(20, 40960))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2019-11-04T02:26:%02d DELETE /results/0 204 %d", c.num(0, 59), c.num(20, 40960))
+			},
+		},
+		{
+			Name: "L", Class: "production",
+			Query: "WARNING AND Errorcode:0 AND Packet id:172397858",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s net Errorcode:%d Packet id:%d retry=%d",
+					c.stamp(), level(c), c.num(0, 4), c.num(100000000, 999999999), c.num(0, 3))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s WARNING net Errorcode:0 Packet id:172397858 retry=%d", c.stamp(), c.num(0, 3))
+			},
+		},
+		{
+			Name: "M", Class: "production",
+			Query: "ERROR AND exchange-client-24 AND /results/10",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s [exchange-client-%d] fetch /results/%d bytes=%d",
+					c.stamp(), level(c), c.num(0, 31), c.num(0, 50), c.num(100, 1<<16))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR [exchange-client-24] fetch /results/10 bytes=%d", c.stamp(), c.num(100, 1<<16))
+			},
+		},
+		{
+			Name: "N", Class: "production",
+			Query: "ERROR AND project_id:51274",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s quota project_id:%d used=%d limit=%d",
+					c.stamp(), level(c), c.num(10000, 99999), c.num(0, 1000), c.num(1000, 2000))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR quota project_id:51274 used=%d limit=%d", c.stamp(), c.num(1000, 2000), c.num(1000, 2000))
+			},
+		},
+		{
+			Name: "O", Class: "production",
+			Query: "error AND ProjectId:2396 AND 2020-04-14 04",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2020-04-%02d %02d:%02d:%02d %s ingest ProjectId:%d batch=%d",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("info", "info", "warn", "error"), c.num(1000, 9999), c.num(1, 512))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2020-04-14 04:%02d:%02d error ingest ProjectId:2396 batch=%d", c.num(0, 59), c.num(0, 59), c.num(1, 512))
+			},
+		},
+		{
+			Name: "P", Class: "production",
+			Query: "ERROR AND CLICK_SAVE_ERROR",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s ui event=%s session=%s",
+					c.stamp(), level(c), c.pick("CLICK_SAVE_OK", "CLICK_OPEN", "CLICK_CLOSE", "SCROLL", "CLICK_SAVE_ERROR"), c.hexlo(12))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR ui event=CLICK_SAVE_ERROR session=%s", c.stamp(), c.hexlo(12))
+			},
+		},
+		{
+			Name: "Q", Class: "production",
+			Query: "ERROR AND PostLogStoreLogsHandler.cpp AND Time:1622009998",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s %s:%d Time:%d op=%s",
+					c.stamp(), level(c),
+					c.pick("PostLogStoreLogsHandler.cpp", "GetCursorHandler.cpp", "PullLogsHandler.cpp"),
+					c.num(10, 999), 1622000000+c.num(0, 99999), c.pick("post", "get", "pull"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR PostLogStoreLogsHandler.cpp:%d Time:1622009998 op=post", c.stamp(), c.num(10, 999))
+			},
+		},
+		{
+			Name: "R", Class: "production",
+			Query: "ERROR AND part_id:510 AND request id REQ_11.187.22.33",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s store part_id:%d request id REQ_11.187.%d.%d off=%d",
+					c.stamp(), level(c), c.num(0, 1023), c.num(0, 255), c.num(0, 255), c.num(0, 1<<24))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR store part_id:510 request id REQ_11.187.22.33 off=%d", c.stamp(), c.num(0, 1<<24))
+			},
+		},
+		{
+			Name: "S", Class: "production",
+			Query: "TTY=unknown AND /etc/init.d/ilogtaild AND Aug 30 10",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s host%02d sudo: admin : TTY=%s ; PWD=/root ; COMMAND=%s",
+					c.syslog(), c.num(1, 40), c.pick("pts/0", "pts/1", "unknown"),
+					c.pick("/etc/init.d/ilogtaild restart", "/usr/bin/systemctl status agent", "/bin/ls /var/log"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("Aug 30 10:%02d:%02d host%02d sudo: admin : TTY=unknown ; PWD=/root ; COMMAND=/etc/init.d/ilogtaild restart",
+					c.num(0, 59), c.num(0, 59), c.num(1, 40))
+			},
+		},
+		{
+			Name: "T", Class: "production",
+			Query: "ERROR AND 39244 AND 2020-04-08 05:5",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2020-04-%02d %02d:%02d:%02d %s compact tablet=%d files=%d reclaimed=%d",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), level(c), c.num(10000, 99999), c.num(1, 48), c.num(0, 1<<28))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2020-04-08 05:5%d:%02d ERROR compact tablet=39244 files=%d reclaimed=%d",
+					c.num(0, 9), c.num(0, 59), c.num(1, 48), c.num(0, 1<<28))
+			},
+		},
+		{
+			Name: "U", Class: "production",
+			Query: "failed to read trie data AND 1618152650857662364_3_149245463_199235229",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s %s trie %s key %d_%d_%d_%d",
+					c.stamp(), level(c), c.pick("read ok for", "write ok for", "failed to read trie data", "evicted"),
+					1618152650857000000+c.r.Int63n(999999), c.num(0, 9), c.num(1e8, 2e8), c.num(1e8, 2e8))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s ERROR trie failed to read trie data key 1618152650857662364_3_149245463_199235229", c.stamp())
+			},
+		},
+	}
+}

@@ -1,0 +1,234 @@
+package loggen
+
+import "fmt"
+
+// Public returns the 16 public-like log types, modelled on the Loghub
+// datasets the paper evaluates (Android, Apache, BGL, Hadoop, HDFS,
+// HealthApp, HPC, Linux, Mac, OpenStack, Proxifier, Spark, SSH,
+// Thunderbird, Windows, Zookeeper) with the paper's Table 1 queries.
+func Public() []LogType {
+	return []LogType{
+		{
+			Name: "Android", Class: "public",
+			Query: "ERROR AND socket read length failure -104",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("01-%02d %02d:%02d:%02d.%03d %d %d %s %s: %s",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999),
+					c.num(1000, 9999), c.num(1000, 9999), c.pick("I", "D", "W", "E"),
+					c.pick("ActivityManager", "WifiService", "NetworkUtils", "PowerManager"),
+					c.pick("onReceive intent", "wakelock acquired", "scan results available", "binder transaction"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("01-%02d %02d:%02d:%02d.%03d %d %d ERROR NetworkUtils: socket read length failure -104",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999), c.num(1000, 9999), c.num(1000, 9999))
+			},
+		},
+		{
+			Name: "Apache", Class: "public",
+			Query: "error AND Invalid URI in request",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("[Mon Jan %02d %02d:%02d:%02d 2021] [%s] [client 10.%d.%d.%d] %s",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("notice", "notice", "warn", "error"), c.num(0, 255), c.num(0, 255), c.num(0, 255),
+					c.pick("File does not exist: /var/www/html/favicon.ico", "Directory index forbidden", "client sent malformed Host header"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("[Mon Jan %02d %02d:%02d:%02d 2021] [error] [client 10.%d.%d.%d] Invalid URI in request GET /%s HTTP/1.1",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 255), c.num(0, 255), c.num(0, 255), c.hexlo(6))
+			},
+		},
+		{
+			Name: "Bgl", Class: "public",
+			Query: "ERROR AND R00-M1-ND",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("- %d 2005.06.%02d R%02d-M%d-N%d-C:J%02d-U%02d RAS KERNEL %s %s",
+					1117838000+c.num(0, 99999), c.num(1, 28), c.num(0, 63), c.num(0, 1), c.num(0, 15), c.num(0, 35), c.num(0, 11),
+					c.pick("INFO", "INFO", "WARNING", "FATAL"),
+					c.pick("instruction cache parity error corrected", "generating core.4253", "ddr errors detected and corrected"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("- %d 2005.06.%02d R00-M1-ND RAS KERNEL ERROR data TLB error interrupt", 1117838000+c.num(0, 99999), c.num(1, 28))
+			},
+		},
+		{
+			Name: "Hadoop", Class: "public",
+			Query: "ERROR AND RECEIVED SIGNAL 15: SIGTERM AND 2015-09-23",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2015-09-%02d %02d:%02d:%02d,%03d %s [%s] org.apache.hadoop.%s: %s",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999),
+					c.pick("INFO", "INFO", "WARN", "ERROR"),
+					c.pick("main", "RMCommunicator Allocator", "IPC Server handler 3 on 45454"),
+					c.pick("mapreduce.v2.app.MRAppMaster", "yarn.YarnUncaughtExceptionHandler", "ipc.Server"),
+					c.pick("Progress of TaskAttempt is 0.32", "Container released on a lost node", "Event Writer setup"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2015-09-23 %02d:%02d:%02d,%03d ERROR [main] org.apache.hadoop.mapreduce.v2.app.MRAppMaster: RECEIVED SIGNAL 15: SIGTERM",
+					c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999))
+			},
+		},
+		{
+			Name: "Hdfs", Class: "public",
+			Query: "error AND blk_8846",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("081109 %06d %d INFO dfs.DataNode$PacketResponder: Received block blk_%d of size %d from /10.251.%d.%d",
+					c.num(0, 235959), c.num(1, 999), 1000000000+c.r.Int63n(8999999999), c.num(1024, 67108864), c.num(0, 255), c.num(0, 255))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("081109 %06d %d error dfs.DataNode$DataXceiver: writeBlock blk_8846%d received exception java.io.IOException",
+					c.num(0, 235959), c.num(1, 999), c.num(100000, 999999))
+			},
+		},
+		{
+			Name: "Healthapp", Class: "public",
+			Query: "Step_ExtSDM AND totalAltitude=0",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("20171223-%02d:%02d:%02d:%03d|%s|%d|%s",
+					c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999),
+					c.pick("Step_LSC", "Step_SPUtils", "Step_StandReportReceiver", "Step_ExtSDM"),
+					c.num(10000000, 99999999),
+					c.pick("onStandStepChanged 3579", "getTodayTotalDetailSteps = 1514038000000", "calculateCaloriesWithCache"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("20171223-%02d:%02d:%02d:%03d|Step_ExtSDM|%d|calculateAltitudeWithCache totalAltitude=0",
+					c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999), c.num(10000000, 99999999))
+			},
+		},
+		{
+			Name: "Hpc", Class: "public",
+			Query: "unavailable state AND HWID=3378",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%d node-%d unix.hw state_change.%s %d 1 Component State Change: Component \"alt0\" is in the %s state (HWID=%d)",
+					c.num(100000, 999999), c.num(0, 1023), c.pick("unavailable", "available"), 1077804000+c.num(0, 99999),
+					c.pick("available", "unavailable"), c.num(1000, 9999))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%d node-%d unix.hw state_change.unavailable %d 1 Component State Change: Component \"alt0\" is in the unavailable state (HWID=3378)",
+					c.num(100000, 999999), c.num(0, 1023), 1077804000+c.num(0, 99999))
+			},
+		},
+		{
+			Name: "Linux", Class: "public",
+			Query: "authentication failure AND rhost=221.230.128.214",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s combo sshd(pam_unix)[%d]: %s; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost=%d.%d.%d.%d",
+					c.syslog(), c.num(1000, 32000),
+					c.pick("session opened for user root", "check pass; user unknown", "session closed for user root"),
+					c.num(1, 255), c.num(0, 255), c.num(0, 255), c.num(0, 255))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s combo sshd(pam_unix)[%d]: authentication failure; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost=221.230.128.214",
+					c.syslog(), c.num(1000, 32000))
+			},
+		},
+		{
+			Name: "Mac", Class: "public",
+			Query: "failed AND Err:-1 Errno:1",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s authorMacBook-Pro %s[%d]: %s",
+					c.syslog(), c.pick("kernel", "com.apple.cts", "corecaptured", "QQ"), c.num(1, 99999),
+					c.pick("AirPort: Link Up on awdl0", "Thermal pressure state: 1", "en0: BSSID changed to 5c:50:15:4c:18:13"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s authorMacBook-Pro kernel[0]: send failed Err:-1 Errno:1 Operation not permitted", c.syslog())
+			},
+		},
+		{
+			Name: "Openstack", Class: "public",
+			Query: "ERROR OR WARNING AND Unexpected error while running command",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 %02d:%02d:%02d.%03d %d %s nova.compute.manager [req-%s-%s] [instance: %s-%s] %s",
+					c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999), c.num(1000, 9999),
+					c.pick("INFO", "INFO", "WARNING"), c.hexlo(8), c.hexlo(4), c.hexlo(8), c.hexlo(4),
+					c.pick("VM Started (Lifecycle Event)", "VM Paused (Lifecycle Event)", "Instance destroyed successfully"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 %02d:%02d:%02d.%03d %d ERROR oslo_service [req-%s] Unexpected error while running command",
+					c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999), c.num(1000, 9999), c.hexlo(8))
+			},
+		},
+		{
+			Name: "Proxifier", Class: "public",
+			Query: "HTTPS AND play.google.com:443",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("[%02d.%02d %02d:%02d:%02d] chrome.exe - %s:%s close, %d bytes sent, %d bytes received, lifetime %02d:%02d",
+					c.num(1, 12), c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("www.google.com", "mail.qq.com", "update.microsoft.com", "cdn.jsdelivr.net"),
+					c.pick("80", "443", "8080"), c.num(100, 1<<20), c.num(100, 1<<20), c.num(0, 59), c.num(0, 59))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("[%02d.%02d %02d:%02d:%02d] chrome.exe - play.google.com:443 open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS",
+					c.num(1, 12), c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59))
+			},
+		},
+		{
+			Name: "Spark", Class: "public",
+			Query: "ERROR AND Error sending result",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("17/06/%02d %02d:%02d:%02d %s executor.Executor: %s %d.0 in stage %d.0 (TID %d)",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("INFO", "INFO", "WARN"), c.pick("Running task", "Finished task"), c.num(0, 500), c.num(0, 40), c.num(0, 20000))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("17/06/%02d %02d:%02d:%02d ERROR executor.Executor: Error sending result StatusUpdate TID %d",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 20000))
+			},
+		},
+		{
+			Name: "Ssh", Class: "public",
+			Query: "Received disconnect from AND 202.100.179.208",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("%s LabSZ sshd[%d]: %s %d.%d.%d.%d port %d ssh2",
+					c.syslog(), c.num(20000, 30000),
+					c.pick("Failed password for invalid user admin from", "Accepted password for fztu from", "pam_unix(sshd:auth): check pass; user unknown rhost="),
+					c.num(1, 255), c.num(0, 255), c.num(0, 255), c.num(0, 255), c.num(1024, 65535))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("%s LabSZ sshd[%d]: Received disconnect from 202.100.179.208: 11: Bye Bye [preauth]", c.syslog(), c.num(20000, 30000))
+			},
+		},
+		{
+			Name: "Thunderbird", Class: "public",
+			Query: "Doorbell ACK timeout",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("- %d 2005.11.%02d aadmin1 Nov %d %02d:%02d:%02d local@aadmin1 %s: %s",
+					1131500000+c.num(0, 99999), c.num(1, 28), c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("ntpd", "crond(pam_unix)", "kernel"),
+					c.pick("synchronized to 10.100.30.250, stratum 3", "session opened for user root by (uid=0)", "e1000: eth0: e1000_clean_tx_irq: Detected Tx Unit Hang"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("- %d 2005.11.%02d dn228 Nov %d %02d:%02d:%02d dn228/dn228 kernel: Doorbell ACK timeout for qp %d",
+					1131500000+c.num(0, 99999), c.num(1, 28), c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(1, 1024))
+			},
+		},
+		{
+			Name: "Windows", Class: "public",
+			Query: "Error AND Failed to process single phase execution",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2016-09-%02d %02d:%02d:%02d, %s CBS %s",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59),
+					c.pick("Info", "Info", "Info", "Warning"),
+					c.pick("Loaded Servicing Stack v6.1.7601.23505", "SQM: Initializing online with Windows opt-in: False", "Warning: Unrecognized packageExtended attribute."))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2016-09-%02d %02d:%02d:%02d, Error CBS Failed to process single phase execution. [HRESULT = 0x%s]",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.hexlo(8))
+			},
+		},
+		{
+			Name: "Zookeeper", Class: "public",
+			Query: "ERROR AND CommitProcessor",
+			line: func(c *ctx) string {
+				return fmt.Sprintf("2015-07-%02d %02d:%02d:%02d,%03d - %s [%s@%d] - %s",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999),
+					c.pick("INFO", "INFO", "WARN"),
+					c.pick("QuorumPeer[myid=1]/0:0:0:0:0:0:0:0:2181:Environment", "NIOServerCxn.Factory:0.0.0.0/0.0.0.0:2181:NIOServerCnxn", "SendWorker:188978561024:QuorumCnxManager$SendWorker"),
+					c.num(100, 1200),
+					c.pick("Established session 0x14ed93111f20057 with negotiated timeout 10000", "Closed socket connection for client /10.10.34.11:45101", "Accepted socket connection from /10.10.34.11:45307"))
+			},
+			needle: func(c *ctx) string {
+				return fmt.Sprintf("2015-07-%02d %02d:%02d:%02d,%03d - ERROR [CommitProcessor:1:NIOServerCnxn@%d] - Unexpected Exception: java.nio.channels.CancelledKeyException",
+					c.num(1, 28), c.num(0, 23), c.num(0, 59), c.num(0, 59), c.num(0, 999), c.num(100, 1200))
+			},
+		},
+	}
+}

@@ -1,0 +1,216 @@
+package logparse
+
+// Similarity-based template mining — the Drain-inspired (He et al. 2017,
+// the paper's citation [31]) alternative to the default variant-key
+// strategy. Within one delimiter signature, sampled lines join the
+// existing template with the highest position-wise token similarity when
+// it clears a threshold, and mismatching positions widen to variables;
+// otherwise they found a new template (bounded per signature).
+//
+// Compared to the variant strategy, similarity mining merges templates
+// whose static words differ in few positions ("alpha beta" / "alpha
+// gamma" become "alpha <*>"), trading slightly coarser variable vectors
+// for fewer groups. The parse pass still requires exact static-token
+// matches, so correctness (lossless reconstruction) is identical; lines
+// matching no mined template get their own template on the fly, exactly
+// as in the variant strategy.
+
+// Strategy selects the level-2 template mining algorithm.
+type Strategy uint8
+
+const (
+	// StrategyVariant groups by the digit-free-token key and merges on
+	// budget overflow (the default).
+	StrategyVariant Strategy = iota
+	// StrategySimilarity groups by Drain-style token similarity.
+	StrategySimilarity
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	if s == StrategySimilarity {
+		return "similarity"
+	}
+	return "variant"
+}
+
+// simTemplate is a template under construction: one slot per token
+// position; nil-marked positions are variables.
+type simTemplate struct {
+	tokens []string
+	isVar  []bool
+	count  int
+}
+
+// similarity returns the fraction of token positions that agree;
+// variable positions count as agreement (they absorb anything).
+func (st *simTemplate) similarity(tokens []string) float64 {
+	if len(tokens) != len(st.tokens) {
+		return 0
+	}
+	if len(tokens) == 0 {
+		return 1
+	}
+	same := 0
+	for i, tok := range tokens {
+		if st.isVar[i] || st.tokens[i] == tok {
+			same++
+		}
+	}
+	return float64(same) / float64(len(tokens))
+}
+
+// absorb folds a line's tokens into the template, widening mismatches.
+func (st *simTemplate) absorb(tokens []string) {
+	for i, tok := range tokens {
+		if !st.isVar[i] && st.tokens[i] != tok {
+			st.isVar[i] = true
+			st.tokens[i] = ""
+		}
+	}
+	st.count++
+}
+
+// simState is the per-signature mining state for StrategySimilarity.
+type simState struct {
+	templates []*simTemplate
+	rep       []Piece
+}
+
+func tokensOf(pieces []Piece) []string {
+	var toks []string
+	for _, p := range pieces {
+		if p.IsToken {
+			toks = append(toks, p.Text)
+		}
+	}
+	return toks
+}
+
+// observe assigns a sampled line to its most similar template or founds a
+// new one (Drain's core step).
+func (ss *simState) observe(pieces []Piece, threshold float64, budget int) {
+	if ss.rep == nil {
+		ss.rep = pieces
+	}
+	tokens := tokensOf(pieces)
+	var best *simTemplate
+	bestSim := 0.0
+	for _, t := range ss.templates {
+		if sim := t.similarity(tokens); sim > bestSim {
+			best, bestSim = t, sim
+		}
+	}
+	if best != nil && (bestSim >= threshold || len(ss.templates) >= budget) {
+		best.absorb(tokens)
+		return
+	}
+	nt := &simTemplate{tokens: append([]string(nil), tokens...), isVar: make([]bool, len(tokens)), count: 1}
+	// Digit-bearing tokens are variables from the start (CLP heuristic),
+	// so ids never masquerade as static text.
+	for i, tok := range tokens {
+		if containsDigit(tok) {
+			nt.isVar[i] = true
+			nt.tokens[i] = ""
+		}
+	}
+	ss.templates = append(ss.templates, nt)
+}
+
+// seal converts mined similarity templates into parse-ready Templates.
+func (ss *simState) seal() []*Template {
+	out := make([]*Template, 0, len(ss.templates))
+	for _, st := range ss.templates {
+		t := &Template{}
+		ti := 0
+		for _, p := range ss.rep {
+			if !p.IsToken {
+				appendLit(t, p.Text)
+				continue
+			}
+			static := ti < len(st.tokens) && !st.isVar[ti] && !containsDigit(st.tokens[ti])
+			t.tokenStatic = append(t.tokenStatic, static)
+			if static {
+				t.tokenLit = append(t.tokenLit, st.tokens[ti])
+				appendLit(t, st.tokens[ti])
+			} else {
+				t.tokenLit = append(t.tokenLit, "")
+				t.Elems = append(t.Elems, Element{Var: t.NumVars})
+				t.NumVars++
+			}
+			ti++
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// parseSimilarity is the StrategySimilarity implementation of Parse.
+func parseSimilarity(lines []string, opts Options) *Parsed {
+	p := &Parsed{NumLines: len(lines)}
+	if len(lines) == 0 {
+		return p
+	}
+	stride := int(1 / opts.SampleRate)
+	if stride < 1 {
+		stride = 1
+	}
+	states := make(map[string]*simState)
+	for i := 0; i < len(lines); i += stride {
+		pieces := Tokenize(lines[i])
+		sig := Signature(pieces)
+		st := states[sig]
+		if st == nil {
+			st = &simState{}
+			states[sig] = st
+		}
+		st.observe(pieces, opts.SimThreshold, opts.MaxVariants)
+	}
+	templates := make(map[string][]*Template, len(states))
+	for sig, st := range states {
+		templates[sig] = st.seal()
+	}
+
+	type groupKey struct {
+		sig string
+		idx int
+	}
+	groups := make(map[groupKey]*Group)
+	var order []groupKey
+	for lineNo, line := range lines {
+		pieces := Tokenize(line)
+		sig := Signature(pieces)
+		var vals []string
+		idx := -1
+		for i, tmpl := range templates[sig] {
+			if v, ok := matchTemplate(tmpl, pieces); ok {
+				vals, idx = v, i
+				break
+			}
+		}
+		if idx < 0 {
+			// No mined template matches: found one from this line, as
+			// the variant strategy does for unseen shapes.
+			tmpl := templateFromLine(pieces)
+			templates[sig] = append(templates[sig], tmpl)
+			idx = len(templates[sig]) - 1
+			vals, _ = matchTemplate(tmpl, pieces)
+		}
+		gk := groupKey{sig: sig, idx: idx}
+		g := groups[gk]
+		if g == nil {
+			tmpl := templates[sig][idx]
+			g = &Group{Template: tmpl, Vars: make([][]string, tmpl.NumVars)}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for v, val := range vals {
+			g.Vars[v] = append(g.Vars[v], val)
+		}
+		g.Lines = append(g.Lines, lineNo)
+	}
+	for _, gk := range order {
+		p.Groups = append(p.Groups, groups[gk])
+	}
+	return p
+}

@@ -1,0 +1,156 @@
+package logparse
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simOptions() Options {
+	o := DefaultOptions()
+	o.Strategy = StrategySimilarity
+	o.SampleRate = 1
+	return o
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyVariant.String() != "variant" || StrategySimilarity.String() != "similarity" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestSimilarityMergesNearTemplates(t *testing.T) {
+	// "alpha beta" and "alpha gamma" share 1/2 tokens ≥ 0.4: one group
+	// with template "alpha <*>"; the variant strategy would split them.
+	p := Parse(block("alpha beta", "alpha gamma", "alpha beta"), simOptions())
+	if len(p.Groups) != 1 {
+		for _, g := range p.Groups {
+			t.Logf("group %q rows=%d", g.Template.String(), g.Rows())
+		}
+		t.Fatalf("groups = %d, want 1", len(p.Groups))
+	}
+	if got := p.Groups[0].Template.String(); got != "alpha <*>" {
+		t.Fatalf("template = %q, want alpha <*>", got)
+	}
+	pv := Parse(block("alpha beta", "alpha gamma", "alpha beta"), Options{SampleRate: 1})
+	if len(pv.Groups) != 2 {
+		t.Fatalf("variant strategy groups = %d, want 2", len(pv.Groups))
+	}
+}
+
+func TestSimilaritySeparatesFarTemplates(t *testing.T) {
+	// 1/3 similarity < 0.4: separate templates.
+	p := Parse(block("read file done", "send pkt fail", "read file done"), simOptions())
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(p.Groups))
+	}
+}
+
+func TestSimilarityPaperExample(t *testing.T) {
+	p := Parse(block(
+		"T134 bk.FF.13 read",
+		"T169 state: SUC#1604",
+		"T179 bk.C5.15 read",
+		"T181 state: ERR#1623",
+	), simOptions())
+	// Digit-bearing tokens are variables; "read" and "state:" stay
+	// static. sim("<*> <*> read", [T169 state: SUC#1604]) = 2/3 ≥ 0.4,
+	// so similarity mining merges both shapes into one template —
+	// coarser than variant mining but still lossless.
+	got := ReconstructAll(p)
+	want := []string{"T134 bk.FF.13 read", "T169 state: SUC#1604", "T179 bk.C5.15 read", "T181 state: ERR#1623"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimilarityLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var lines []string
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			lines = append(lines, fmt.Sprintf("T%d bk.%02X.%d read", rng.Intn(1000), rng.Intn(256), rng.Intn(20)))
+		case 1:
+			lines = append(lines, fmt.Sprintf("T%d state: %s#16%02d", rng.Intn(1000), []string{"SUC", "ERR"}[rng.Intn(2)], rng.Intn(100)))
+		case 2:
+			lines = append(lines, fmt.Sprintf("worker-%d finished job %d in %dms", rng.Intn(8), rng.Intn(10000), rng.Intn(500)))
+		default:
+			lines = append(lines, fmt.Sprintf("cache %s shard %d", []string{"hit", "miss", "evict"}[rng.Intn(3)], rng.Intn(16)))
+		}
+	}
+	opts := simOptions()
+	opts.SampleRate = 0.05
+	p := Parse(block(lines...), opts)
+	got := ReconstructAll(p)
+	for i := range lines {
+		if got[i] != lines[i] {
+			t.Fatalf("line %d: %q != %q", i, got[i], lines[i])
+		}
+	}
+	if len(p.Outliers) != 0 {
+		t.Fatalf("similarity strategy produced outliers: %d", len(p.Outliers))
+	}
+}
+
+// Property: both strategies are lossless on arbitrary printable input.
+func TestQuickBothStrategiesLossless(t *testing.T) {
+	f := func(raw []byte, rate uint8, sim bool) bool {
+		b := make([]byte, len(raw))
+		for i, c := range raw {
+			if c%17 == 0 {
+				b[i] = '\n'
+			} else {
+				b[i] = 32 + c%95
+			}
+		}
+		opts := Options{SampleRate: float64(rate%20+1) / 20}
+		if sim {
+			opts.Strategy = StrategySimilarity
+		}
+		p := Parse(b, opts)
+		got := ReconstructAll(p)
+		want := SplitLines(b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("strategy=%v line %d: %q != %q", opts.Strategy, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityBudget(t *testing.T) {
+	// Far-apart templates beyond the budget get absorbed into the best
+	// existing one instead of growing without bound.
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, fmt.Sprintf("%s %s %s",
+			strings.Repeat(string(rune('a'+i%26)), 3),
+			strings.Repeat(string(rune('A'+i%26)), 3),
+			strings.Repeat(string(rune('k'+i%13)), 3)))
+	}
+	opts := simOptions()
+	opts.MaxVariants = 4
+	p := Parse(block(lines...), opts)
+	if len(p.Groups) > 8 {
+		t.Fatalf("groups = %d, want bounded", len(p.Groups))
+	}
+	got := ReconstructAll(p)
+	for i := range lines {
+		if got[i] != lines[i] {
+			t.Fatalf("line %d lost", i)
+		}
+	}
+}

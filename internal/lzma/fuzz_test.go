@@ -1,0 +1,34 @@
+package lzma
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: Compress/Decompress must be inverse for any input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("2021-01-04 12:33:01.123 INFO write to file:/tmp/1FF8ab.log"))
+	f.Add(bytes.Repeat([]byte("ab"), 500))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := Compress(data)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(data), len(got))
+		}
+	})
+}
+
+// FuzzDecompress: arbitrary bytes must never panic or hang.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(magic))
+	f.Add(Compress([]byte("hello world hello world")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decompress(data) // result/err irrelevant; must terminate cleanly
+	})
+}

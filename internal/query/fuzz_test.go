@@ -1,0 +1,32 @@
+package query
+
+import "testing"
+
+// FuzzParse: arbitrary commands must never panic; successful parses must
+// render and re-parse.
+func FuzzParse(f *testing.F) {
+	f.Add("error AND dst:11.8.* NOT state:503")
+	f.Add(`"quoted phrase" OR (a AND b)`)
+	f.Add("((")
+	f.Fuzz(func(t *testing.T, cmd string) {
+		e, err := Parse(cmd)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(e.String()); err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", e.String(), err)
+		}
+	})
+}
+
+// FuzzGlobContains: must terminate on any (text, pattern) pair.
+func FuzzGlobContains(f *testing.F) {
+	f.Add("some text here", "te*t")
+	f.Add("", "*")
+	f.Fuzz(func(t *testing.T, text, pat string) {
+		if len(text) > 200 || len(pat) > 30 {
+			return // keep the backtracking bounded for fuzz throughput
+		}
+		GlobContains(text, pat)
+	})
+}

@@ -1,0 +1,298 @@
+// Package server exposes LogGrep queries over HTTP — the shape of the
+// paper's production deployment, where engineers send full-text query
+// commands to a log storage service during the first debugging phase (§2)
+// and the second phase consumes the results programmatically.
+//
+// Endpoints (JSON):
+//
+//	GET    /healthz                          liveness
+//	GET    /v1/sources                       list loaded sources
+//	PUT    /v1/sources/{name}                load a .lgrep body (box or archive)
+//	DELETE /v1/sources/{name}                unload
+//	GET    /v1/query?source=S&q=CMD          matching lines + entries
+//	GET    /v1/count?source=S&q=CMD          match count only
+//	GET    /v1/entry?source=S&line=N         one reconstructed entry
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"loggrep/internal/archive"
+	"loggrep/internal/core"
+)
+
+// MaxUploadBytes bounds PUT bodies.
+const MaxUploadBytes = 1 << 30
+
+// source is one loaded compressed dataset. Store/Archive are not
+// internally synchronized, so each source serializes access.
+type source struct {
+	mu    sync.Mutex
+	box   *core.Store
+	arch  *archive.Archive
+	bytes int
+}
+
+func (s *source) numLines() int {
+	if s.arch != nil {
+		return s.arch.NumLines()
+	}
+	return s.box.NumLines()
+}
+
+func (s *source) query(cmd string) ([]int, []string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arch != nil {
+		res, err := s.arch.Query(cmd, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Lines, res.Entries, nil
+	}
+	res, err := s.box.Query(cmd)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Lines, res.Entries, nil
+}
+
+func (s *source) count(cmd string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arch != nil {
+		res, err := s.arch.Query(cmd, 0)
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Lines), nil
+	}
+	return s.box.Count(cmd)
+}
+
+func (s *source) entry(line int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arch != nil {
+		return s.arch.Entry(line)
+	}
+	return s.box.ReconstructLine(line)
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	mu      sync.RWMutex
+	sources map[string]*source
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{sources: make(map[string]*source)}
+}
+
+// Load registers compressed data under a name (box or archive,
+// auto-detected).
+func (sv *Server) Load(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("server: empty source name")
+	}
+	src := &source{bytes: len(data)}
+	if len(data) >= len(archive.Magic) && string(data[:len(archive.Magic)]) == archive.Magic {
+		a, err := archive.Open(data)
+		if err != nil {
+			return err
+		}
+		src.arch = a
+	} else {
+		st, err := core.Open(data, core.QueryOptions{})
+		if err != nil {
+			return err
+		}
+		src.box = st
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.sources[name] = src
+	return nil
+}
+
+// Handler returns the routed http.Handler.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/sources", sv.handleSources)
+	mux.HandleFunc("/v1/sources/", sv.handleSource)
+	mux.HandleFunc("/v1/query", sv.handleQuery)
+	mux.HandleFunc("/v1/count", sv.handleCount)
+	mux.HandleFunc("/v1/entry", sv.handleEntry)
+	return mux
+}
+
+type sourceInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Lines   int    `json:"lines"`
+	Bytes   int    `json:"compressed_bytes"`
+	Blocks  int    `json:"blocks,omitempty"`
+	RawSize int    `json:"raw_bytes,omitempty"`
+}
+
+func (sv *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	out := make([]sourceInfo, 0, len(sv.sources))
+	for name, s := range sv.sources {
+		info := sourceInfo{Name: name, Kind: "box", Lines: s.numLines(), Bytes: s.bytes}
+		if s.arch != nil {
+			info.Kind = "archive"
+			info.Blocks = s.arch.NumBlocks()
+			info.RawSize = s.arch.RawBytes()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (sv *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/sources/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusBadRequest, "bad source name")
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxUploadBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		if len(body) > MaxUploadBytes {
+			httpError(w, http.StatusRequestEntityTooLarge, "body too large")
+			return
+		}
+		if err := sv.Load(name, body); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"loaded": name})
+	case http.MethodDelete:
+		sv.mu.Lock()
+		_, ok := sv.sources[name]
+		delete(sv.sources, name)
+		sv.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such source")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "PUT or DELETE")
+	}
+}
+
+func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (*source, string, bool) {
+	name := r.URL.Query().Get("source")
+	sv.mu.RLock()
+	src := sv.sources[name]
+	sv.mu.RUnlock()
+	if src == nil {
+		httpError(w, http.StatusNotFound, "no such source "+strconv.Quote(name))
+		return nil, "", false
+	}
+	cmd := r.URL.Query().Get("q")
+	if cmd == "" && !strings.HasSuffix(r.URL.Path, "/entry") {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return nil, "", false
+	}
+	return src, cmd, true
+}
+
+type queryResponse struct {
+	Matches   int      `json:"matches"`
+	Lines     []int    `json:"lines"`
+	Entries   []string `json:"entries"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, cmd, ok := sv.lookup(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	lines, entries, err := src.query(cmd)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Matches:   len(lines),
+		Lines:     lines,
+		Entries:   entries,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	src, cmd, ok := sv.lookup(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	n, err := src.count(cmd)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matches":    n,
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (sv *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("source")
+	sv.mu.RLock()
+	src := sv.sources[name]
+	sv.mu.RUnlock()
+	if src == nil {
+		httpError(w, http.StatusNotFound, "no such source")
+		return
+	}
+	line, err := strconv.Atoi(r.URL.Query().Get("line"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad line parameter")
+		return
+	}
+	entry, err := src.entry(line)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"line": line, "entry": entry})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,140 @@
+// Package loggrep is a log compression and query library that structurizes
+// log data in fine-grained units by exploiting both static and runtime
+// patterns, after "LogGrep: Fast and Cheap Cloud Log Storage by Exploiting
+// both Static and Runtime Patterns" (Wei et al., EuroSys 2023).
+//
+// # Overview
+//
+// LogGrep compresses a raw log block (the paper uses 64 MB blocks) into a
+// CapsuleBox: log entries are parsed into static-pattern groups, each
+// variable vector is decomposed by automatically extracted runtime patterns
+// into Capsules, and every Capsule is padded to fixed width, stamped with a
+// character-type mask and maximal length, and LZMA-compressed
+// independently. Queries are grep-like commands with AND/OR/NOT and
+// within-token '*' wildcards; the engine matches keywords on the static and
+// runtime patterns, uses Capsule stamps to avoid decompressing Capsules
+// that cannot contain a keyword, and scans the few remaining Capsules with
+// fixed-length Boyer–Moore matching.
+//
+// # Quick start
+//
+//	data := loggrep.Compress(rawBlock, loggrep.DefaultOptions())
+//	store, err := loggrep.Open(data, loggrep.QueryOptions{})
+//	if err != nil { ... }
+//	res, err := store.Query("ERROR AND dst:11.8.* NOT state:503")
+//	for i, line := range res.Lines {
+//		fmt.Printf("%d: %s\n", line, res.Entries[i])
+//	}
+//
+// Results are exact: the Capsule machinery only filters, and every
+// candidate entry is verified against the full phrase, so a query returns
+// precisely the entries a grep over the raw block would return.
+package loggrep
+
+import (
+	"io"
+
+	"loggrep/internal/archive"
+	"loggrep/internal/core"
+	"loggrep/internal/logparse"
+	"loggrep/internal/rtpattern"
+)
+
+// Options configures compression. The zero value is NOT valid; start from
+// DefaultOptions.
+type Options = core.Options
+
+// QueryOptions configures a Store's query behaviour.
+type QueryOptions = core.QueryOptions
+
+// Store answers grep-like queries over one compressed log block.
+type Store = core.Store
+
+// Result holds a query's matching line numbers and reconstructed entries.
+type Result = core.Result
+
+// DefaultOptions mirrors the paper's configuration: 5% parser sampling,
+// duplication-rate threshold 0.5, 95% delimiter coverage, padding and
+// stamps enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// StaticOnlyOptions configures LogGrep-SP (§2.2 of the paper): static
+// patterns and whole-vector summaries only, no runtime patterns. It exists
+// as a baseline; prefer DefaultOptions.
+func StaticOnlyOptions() Options {
+	o := core.DefaultOptions()
+	o.StaticOnly = true
+	return o
+}
+
+// Compress structurizes and compresses one raw log block into a CapsuleBox.
+func Compress(block []byte, opts Options) []byte {
+	return core.Compress(block, opts)
+}
+
+// Open parses a CapsuleBox for querying.
+func Open(data []byte, opts QueryOptions) (*Store, error) {
+	return core.Open(data, opts)
+}
+
+// RawQuery runs a command over an uncompressed block with the same exact
+// semantics as Store.Query — the path for blocks not yet compressed.
+func RawQuery(block []byte, command string) (lines []int, entries []string, err error) {
+	return core.RawQuery(block, command)
+}
+
+// Session is the paper's refining mode: Store.NewSession starts one,
+// Session.Refine narrows the query clause by clause, and Session.Back
+// revisits earlier steps (free, via the Query Cache).
+type Session = core.Session
+
+// Explain is the query planner report from Store.Explain: the per-group
+// filtering funnel and the work Capsule stamps avoided.
+type Explain = core.Explain
+
+// ParseOptions exposes the static-pattern parser knobs for Options.Parse.
+type ParseOptions = logparse.Options
+
+// ExtractOptions exposes the runtime-pattern extractor knobs for
+// Options.Extract.
+type ExtractOptions = rtpattern.Options
+
+// Archive groups many compressed blocks: applications write raw logs into
+// ~64 MB blocks which are compressed in the background (§2 of the paper);
+// an Archive queries across all of them, skipping blocks whose block-level
+// stamp cannot admit the query and parallelizing across goroutines.
+type Archive = archive.Archive
+
+// ArchiveWriter streams raw log bytes into an archive, cutting blocks at
+// line boundaries and compressing them concurrently.
+type ArchiveWriter = archive.Writer
+
+// ArchiveOptions configures archive creation.
+type ArchiveOptions = archive.Options
+
+// ArchiveResult is an archive query result with stream-global line numbers.
+type ArchiveResult = archive.Result
+
+// DefaultArchiveOptions uses 64 MB blocks (the paper's production block
+// size) and one compression worker per CPU.
+func DefaultArchiveOptions() ArchiveOptions { return archive.DefaultOptions() }
+
+// NewArchiveWriter starts a streaming archive writer; Close flushes the
+// final partial block.
+func NewArchiveWriter(w io.Writer, opts ArchiveOptions) (*ArchiveWriter, error) {
+	return archive.NewWriter(w, opts)
+}
+
+// CompressArchive is the one-shot archive form for an in-memory stream.
+func CompressArchive(stream []byte, opts ArchiveOptions) ([]byte, error) {
+	return archive.Compress(stream, opts)
+}
+
+// OpenArchive parses an archive produced by an ArchiveWriter.
+func OpenArchive(data []byte) (*Archive, error) { return archive.Open(data) }
+
+// IsArchive reports whether data looks like an archive rather than a
+// single CapsuleBox.
+func IsArchive(data []byte) bool {
+	return len(data) >= len(archive.Magic) && string(data[:len(archive.Magic)]) == archive.Magic
+}
