@@ -332,6 +332,65 @@ func BenchmarkArchiveParallelQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkArchiveOpenVerify isolates the corruption-hardening cost of
+// frame format v2: open + full query on the same stream written as v1
+// (no checksums) and v2 (header CRC verified at open, payload CRC at
+// first block use). The v2/v1 delta is the checksum overhead; the budget
+// in ISSUE/DESIGN is <5% of open+query time.
+func BenchmarkArchiveOpenVerify(b *testing.B) {
+	lt, ok := loggen.ByName("G")
+	if !ok {
+		b.Fatal("log G missing")
+	}
+	stream := lt.Block(1, 48000)
+	opts := archive.DefaultOptions()
+	opts.BlockBytes = 512 << 10
+	v2, err := archive.Compress(stream, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.FormatV1 = true
+	v1, err := archive.Compress(stream, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{{"v1", v1}, {"v2", v2}} {
+		b.Run("open+query/"+c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(stream)))
+			for i := 0; i < b.N; i++ {
+				a, err := archive.Open(c.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := a.Query(lt.Query, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Damaged) != 0 {
+					b.Fatal("pristine archive reports damage")
+				}
+			}
+		})
+	}
+	// Shallow verify walks every block's payload checksum + decode — the
+	// "scrub" cost an operator pays to audit an archive at rest.
+	b.Run("verify/v2", func(b *testing.B) {
+		b.SetBytes(int64(len(v2)))
+		for i := 0; i < b.N; i++ {
+			a, err := archive.Open(v2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := a.Verify(false); d != nil {
+				b.Fatal(d)
+			}
+		}
+	})
+}
+
 // BenchmarkChunkedCapsules quantifies the chunked-capsule extension
 // (DESIGN.md §1 #18): reconstructing a clustered incident from a chunked
 // box vs a whole-capsule box, plus the compression-ratio cost of smaller

@@ -5,9 +5,16 @@
 //
 //	loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N]
 //	                 [-sp] [-no-pad] [-no-stamps] [-chunk-kb N] <logfile>
-//	loggrep query <file.lgrep> <query command>
-//	loggrep cat <file.lgrep>
+//	loggrep query [-strict] <file.lgrep> <query command>
+//	loggrep cat [-strict] <file.lgrep>
+//	loggrep verify [-deep] <file.lgrep>
 //	loggrep stat <file.lgrep>
+//
+// Archives with damaged blocks still answer queries: matches from healthy
+// blocks are printed and each damaged region is reported on stderr. With
+// -strict any damage makes the command fail instead. verify checks
+// integrity explicitly (frame structure and checksums; -deep also
+// reconstructs every line).
 //
 // Examples:
 //
@@ -15,6 +22,7 @@
 //	loggrep compress -archive -block-mb 16 big.log
 //	loggrep query app.lgrep 'ERROR AND dst:11.8.* NOT state:503'
 //	loggrep cat app.lgrep > app.log.restored
+//	loggrep verify -deep app.lgrep
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "cat":
 		err = cmdCat(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
 	case "explain":
@@ -57,8 +67,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N] [-sp] [-no-pad] [-no-stamps] <logfile>
-  loggrep query <file.lgrep> <query command>
-  loggrep cat <file.lgrep>
+  loggrep query [-strict] <file.lgrep> <query command>
+  loggrep cat [-strict] <file.lgrep>
+  loggrep verify [-deep] <file.lgrep>
   loggrep stat <file.lgrep>
   loggrep explain <box.lgrep> <query command>`)
 }
@@ -115,24 +126,40 @@ func cmdCompress(args []string) error {
 
 // opened abstracts a single box or an archive.
 type opened interface {
-	Query(command string) ([]int, []string, int, error)
-	Cat() ([]string, error)
+	Query(command string) ([]int, []string, int, []loggrep.ArchiveBlockError, error)
+	Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error)
 	Stat() string
+	Verify(deep bool) []loggrep.ArchiveBlockError
 }
 
 type boxFile struct{ st *loggrep.Store }
 
-func (b boxFile) Query(cmd string) ([]int, []string, int, error) {
+func (b boxFile) Query(cmd string) ([]int, []string, int, []loggrep.ArchiveBlockError, error) {
 	res, err := b.st.Query(cmd)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
-	return res.Lines, res.Entries, res.Decompressions, nil
+	return res.Lines, res.Entries, res.Decompressions, nil, nil
 }
-func (b boxFile) Cat() ([]string, error) { return b.st.ReconstructAll() }
+func (b boxFile) Cat(bool) ([]string, []loggrep.ArchiveBlockError, error) {
+	lines, err := b.st.ReconstructAll()
+	return lines, nil, err
+}
 func (b boxFile) Stat() string {
 	return fmt.Sprintf("format: capsule box\nlines: %d\ncompressed bytes: %d",
 		b.st.NumLines(), b.st.CompressedSize())
+}
+
+// Verify for a single box: metadata was validated at open; deep
+// additionally reconstructs every line, exercising all payloads.
+func (b boxFile) Verify(deep bool) []loggrep.ArchiveBlockError {
+	if !deep {
+		return nil
+	}
+	if _, err := b.st.ReconstructAll(); err != nil {
+		return []loggrep.ArchiveBlockError{{NumLines: b.st.NumLines(), Err: err}}
+	}
+	return nil
 }
 
 type archFile struct {
@@ -140,18 +167,30 @@ type archFile struct {
 	size int
 }
 
-func (a archFile) Query(cmd string) ([]int, []string, int, error) {
+func (a archFile) Query(cmd string) ([]int, []string, int, []loggrep.ArchiveBlockError, error) {
 	res, err := a.a.Query(cmd, 0)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
-	return res.Lines, res.Entries, 0, nil
+	return res.Lines, res.Entries, 0, res.Damaged, nil
 }
-func (a archFile) Cat() ([]string, error) { return a.a.ReconstructAll() }
+func (a archFile) Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error) {
+	if strict {
+		lines, err := a.a.ReconstructAll()
+		return lines, nil, err
+	}
+	lines, damaged := a.a.ReconstructPartial()
+	return lines, damaged, nil
+}
 func (a archFile) Stat() string {
-	return fmt.Sprintf("format: archive\nblocks: %d\nlines: %d\nraw bytes: %d\ncompressed bytes: %d",
+	s := fmt.Sprintf("format: archive\nblocks: %d\nlines: %d\nraw bytes: %d\ncompressed bytes: %d",
 		a.a.NumBlocks(), a.a.NumLines(), a.a.RawBytes(), a.size)
+	if d := a.a.Damage(); len(d) > 0 {
+		s += fmt.Sprintf("\ndamaged regions: %d", len(d))
+	}
+	return s
 }
+func (a archFile) Verify(deep bool) []loggrep.ArchiveBlockError { return a.a.Verify(deep) }
 
 func openAny(path string) (opened, error) {
 	data, err := os.ReadFile(path)
@@ -172,15 +211,30 @@ func openAny(path string) (opened, error) {
 	return boxFile{st: st}, nil
 }
 
+// reportDamage prints each damaged region on stderr; with strict set it
+// turns any damage into a command failure.
+func reportDamage(damaged []loggrep.ArchiveBlockError, strict bool) error {
+	for i := range damaged {
+		fmt.Fprintln(os.Stderr, "loggrep: damaged:", damaged[i].Error())
+	}
+	if strict && len(damaged) > 0 {
+		return fmt.Errorf("%d damaged region(s)", len(damaged))
+	}
+	return nil
+}
+
 func cmdQuery(args []string) error {
-	if len(args) < 2 {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "fail if any block is damaged instead of returning partial results")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
 		return fmt.Errorf("query needs a compressed file and a command")
 	}
-	f, err := openAny(args[0])
+	f, err := openAny(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	lines, entries, decomp, err := f.Query(strings.Join(args[1:], " "))
+	lines, entries, decomp, damaged, err := f.Query(strings.Join(fs.Args()[1:], " "))
 	if err != nil {
 		return err
 	}
@@ -192,25 +246,47 @@ func cmdQuery(args []string) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "%d matches\n", len(lines))
 	}
-	return nil
+	return reportDamage(damaged, *strict)
 }
 
 func cmdCat(args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "fail on any damage instead of restoring what survives")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
 		return fmt.Errorf("cat needs a compressed file")
 	}
-	f, err := openAny(args[0])
+	f, err := openAny(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	lines, err := f.Cat()
+	lines, damaged, err := f.Cat(*strict)
 	if err != nil {
 		return err
 	}
 	for _, l := range lines {
 		fmt.Println(l)
 	}
-	return nil
+	return reportDamage(damaged, *strict)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	deep := fs.Bool("deep", false, "additionally reconstruct every line")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify needs a compressed file")
+	}
+	f, err := openAny(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	damaged := f.Verify(*deep)
+	if len(damaged) == 0 {
+		fmt.Println("ok")
+		return nil
+	}
+	return reportDamage(damaged, true)
 }
 
 func cmdExplain(args []string) error {

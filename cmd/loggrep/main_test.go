@@ -81,6 +81,71 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// runFail runs the binary expecting a nonzero exit and returns stderr.
+func runFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("%s %v succeeded, want failure", bin, args)
+	}
+	return stderr.String()
+}
+
+func TestCLIVerifyAndStrict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "g.log")
+	lt, _ := loggen.ByName("G")
+	raw := lt.Block(5, 15000) // ~1.5 MB: several 1 MB-cut blocks
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arcPath := filepath.Join(dir, "g.arc")
+	run(t, bin, "compress", "-archive", "-block-mb", "1", "-o", arcPath, logPath)
+
+	out, _ := run(t, bin, "verify", "-deep", arcPath)
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("verify pristine: %q", out)
+	}
+
+	// Flip one byte mid-file (payload or header, either quarantines).
+	data, err := os.ReadFile(arcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	badPath := filepath.Join(dir, "g.bad.arc")
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if stderr := runFail(t, bin, "verify", badPath); !strings.Contains(stderr, "damaged") {
+		t.Fatalf("verify stderr: %q", stderr)
+	}
+	// Non-strict query still answers from the healthy blocks and reports
+	// the damage on stderr; strict turns it into a failure.
+	_, stderr := run(t, bin, "query", badPath, "NOT INFO")
+	if !strings.Contains(stderr, "damaged") {
+		t.Fatalf("query stderr lacks damage report: %q", stderr)
+	}
+	runFail(t, bin, "query", "-strict", badPath, "NOT INFO")
+
+	// cat salvages the surviving lines; -strict refuses.
+	out, stderr = run(t, bin, "cat", badPath)
+	if len(out) == 0 || len(out) >= len(raw) {
+		t.Fatalf("partial cat returned %d bytes of %d", len(out), len(raw))
+	}
+	if !strings.Contains(stderr, "damaged") {
+		t.Fatalf("cat stderr lacks damage report: %q", stderr)
+	}
+	runFail(t, bin, "cat", "-strict", badPath)
+}
+
 func TestCLIErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")

@@ -1,0 +1,84 @@
+package loggrep_test
+
+import (
+	"strings"
+	"testing"
+
+	"loggrep"
+	"loggrep/internal/loggen"
+	"loggrep/internal/logparse"
+)
+
+// TestArchiveGrepOracle is the golden end-to-end claim for archives: for
+// several log types, a multi-block archive built with a parallel writer
+// answers every query with exactly the lines a plain grep over the raw
+// stream finds — same line numbers, same entry text — and reconstructs
+// the stream byte for byte.
+func TestArchiveGrepOracle(t *testing.T) {
+	for _, name := range []string{"A", "G", "L"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			lt, ok := loggen.ByName(name)
+			if !ok {
+				t.Fatalf("log %s missing", name)
+			}
+			stream := lt.Block(5, 4000)
+			lines := logparse.SplitLines(stream)
+
+			opts := loggrep.DefaultArchiveOptions()
+			opts.BlockBytes = 64 << 10 // force several blocks
+			opts.Workers = 4           // parallel compression must not reorder
+			data, err := loggrep.CompressArchive(stream, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := loggrep.OpenArchive(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.NumBlocks() < 3 {
+				t.Fatalf("only %d blocks — multi-block path not exercised", a.NumBlocks())
+			}
+			if d := a.Verify(true); d != nil {
+				t.Fatalf("fresh archive reports damage: %v", d)
+			}
+
+			queries := []string{lt.Query, "NOT " + strings.Fields(lt.Query)[0]}
+			for _, q := range queries {
+				want := oracle(t, lines, q)
+				res, err := a.Query(q, 3)
+				if err != nil {
+					t.Fatalf("query %q: %v", q, err)
+				}
+				if len(res.Damaged) != 0 {
+					t.Fatalf("query %q: damage on a pristine archive: %v", q, res.Damaged)
+				}
+				if len(res.Lines) != len(want) {
+					t.Fatalf("query %q: %d matches, oracle says %d", q, len(res.Lines), len(want))
+				}
+				for i := range want {
+					if res.Lines[i] != want[i] {
+						t.Fatalf("query %q: match %d is line %d, oracle says %d", q, i, res.Lines[i], want[i])
+					}
+					if res.Entries[i] != lines[want[i]] {
+						t.Fatalf("query %q: entry %d text differs from raw line", q, i)
+					}
+				}
+			}
+
+			got, err := a.ReconstructAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(lines) {
+				t.Fatalf("reconstructed %d lines, want %d", len(got), len(lines))
+			}
+			for i := range lines {
+				if got[i] != lines[i] {
+					t.Fatalf("reconstructed line %d differs", i)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,10 @@
 // block skips it without even decoding the block's metadata. Compression
 // of blocks and query execution over blocks both parallelize across
 // goroutines — the "scale out" direction §8 names as future work.
+//
+// Frame format v2 adds per-frame CRC32C checksums (see frame.go) so that
+// storage corruption is detected and quarantined block by block instead of
+// poisoning the whole archive; Open still reads v1 streams.
 package archive
 
 import (
@@ -21,15 +25,27 @@ import (
 	"sync"
 
 	"loggrep/internal/core"
-	"loggrep/internal/query"
 	"loggrep/internal/rtpattern"
 )
 
-// Magic identifies an archive stream.
-const Magic = "LGRPARC1"
+// Magic identifies a v2 archive stream (checksummed frames).
+const Magic = "LGRPARC2"
+
+// MagicV1 identifies the legacy v1 stream (no checksums); Open still
+// accepts it.
+const MagicV1 = "LGRPARC1"
+
+// IsArchive reports whether data begins with any supported archive magic.
+func IsArchive(data []byte) bool {
+	return hasMagic(data, Magic) || hasMagic(data, MagicV1)
+}
 
 // ErrCorrupt reports an undecodable archive.
 var ErrCorrupt = errors.New("archive: corrupt archive")
+
+// ErrChecksum reports a frame whose stored CRC32C does not match its
+// bytes. It wraps ErrCorrupt.
+var ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 
 // Options configures a Writer.
 type Options struct {
@@ -41,6 +57,9 @@ type Options struct {
 	// Workers is the number of concurrent block compressors
 	// (default: GOMAXPROCS).
 	Workers int
+	// FormatV1 writes the legacy checksum-free v1 stream, for
+	// compatibility testing and for measuring checksum overhead.
+	FormatV1 bool
 }
 
 // DefaultOptions mirrors the production setting.
@@ -48,7 +67,7 @@ func DefaultOptions() Options {
 	return Options{Core: core.DefaultOptions(), BlockBytes: 64 << 20}
 }
 
-// blockMeta is the per-block frame header.
+// blockMeta is the per-block frame metadata.
 type blockMeta struct {
 	numLines int
 	rawBytes int
@@ -68,8 +87,9 @@ type Writer struct {
 	errs chan error
 
 	mu       sync.Mutex
-	pending  map[int][]byte // seq -> frame, reordering buffer
+	pending  map[int]result // seq -> finished block, reordering buffer
 	next     int
+	lines    int // running global line count, becomes the terminator stamp
 	werr     error
 	closed   bool
 	wg       sync.WaitGroup
@@ -82,8 +102,9 @@ type job struct {
 }
 
 type result struct {
-	seq   int
-	frame []byte
+	seq  int
+	meta blockMeta
+	box  []byte
 }
 
 // NewWriter starts a concurrent archive writer. Close must be called to
@@ -95,7 +116,11 @@ func NewWriter(w io.Writer, opts Options) (*Writer, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	if _, err := w.Write([]byte(Magic)); err != nil {
+	magic := Magic
+	if opts.FormatV1 {
+		magic = MagicV1
+	}
+	if _, err := w.Write([]byte(magic)); err != nil {
 		return nil, err
 	}
 	aw := &Writer{
@@ -103,7 +128,7 @@ func NewWriter(w io.Writer, opts Options) (*Writer, error) {
 		opts:     opts,
 		jobs:     make(chan job, opts.Workers),
 		done:     make(chan result, opts.Workers),
-		pending:  make(map[int][]byte),
+		pending:  make(map[int]result),
 		collDone: make(chan struct{}),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -123,31 +148,46 @@ func (aw *Writer) worker() {
 			rawBytes: len(j.block),
 			stamp:    blockStamp(j.block),
 		}
-		aw.done <- result{seq: j.seq, frame: encodeFrame(meta, box)}
+		aw.done <- result{seq: j.seq, meta: meta, box: box}
 	}
 }
 
-// collector writes finished frames in sequence order.
+// collector writes finished frames in sequence order. Frames are encoded
+// here rather than in the workers because the v2 header carries the
+// block's absolute line offset, which is only known once every earlier
+// block has been counted.
 func (aw *Writer) collector() {
 	defer close(aw.collDone)
 	for r := range aw.done {
 		aw.mu.Lock()
-		aw.pending[r.seq] = r.frame
+		aw.pending[r.seq] = r
 		for {
-			frame, ok := aw.pending[aw.next]
+			next, ok := aw.pending[aw.next]
 			if !ok {
 				break
 			}
 			delete(aw.pending, aw.next)
 			if aw.werr == nil {
-				if _, err := aw.w.Write(frame); err != nil {
-					aw.werr = err
-				}
+				aw.werr = aw.writeFrame(next.meta, next.box)
 			}
+			aw.lines += next.meta.numLines
 			aw.next++
 		}
 		aw.mu.Unlock()
 	}
+}
+
+// writeFrame emits one block in the configured format. Caller holds aw.mu.
+func (aw *Writer) writeFrame(meta blockMeta, box []byte) error {
+	if aw.opts.FormatV1 {
+		_, err := aw.w.Write(encodeFrameV1(meta, box))
+		return err
+	}
+	if _, err := aw.w.Write(encodeHeader(meta, aw.lines, box)); err != nil {
+		return err
+	}
+	_, err := aw.w.Write(box)
+	return err
 }
 
 func countLines(block []byte) int {
@@ -180,7 +220,7 @@ func blockStamp(block []byte) rtpattern.Stamp {
 	return st
 }
 
-func encodeFrame(meta blockMeta, box []byte) []byte {
+func encodeFrameV1(meta blockMeta, box []byte) []byte {
 	frame := binary.AppendUvarint(nil, uint64(len(box)))
 	frame = append(frame, box...)
 	frame = binary.AppendUvarint(frame, uint64(meta.numLines))
@@ -246,11 +286,18 @@ func (aw *Writer) Close() error {
 	<-aw.collDone // every frame flushed (or a write error latched)
 	aw.mu.Lock()
 	err := aw.werr
+	lines := aw.lines
 	aw.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	_, err = aw.w.Write(binary.AppendUvarint(nil, 0)) // terminator
+	if aw.opts.FormatV1 {
+		_, err = aw.w.Write(binary.AppendUvarint(nil, 0))
+		return err
+	}
+	// The v2 terminator is a checksummed empty frame carrying the total
+	// line count, so truncation at a frame boundary is detectable.
+	_, err = aw.w.Write(encodeHeader(blockMeta{}, lines, nil))
 	return err
 }
 
@@ -268,239 +315,4 @@ func Compress(stream []byte, opts Options) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
-}
-
-// block is one opened archive block.
-type block struct {
-	box      []byte
-	meta     blockMeta
-	lineOff  int // global line number of the block's first line
-	storeMu  sync.Mutex
-	store    *core.Store
-	storeErr error
-}
-
-// openStore lazily opens the block's CapsuleBox.
-func (b *block) openStore() (*core.Store, error) {
-	b.storeMu.Lock()
-	defer b.storeMu.Unlock()
-	if b.store == nil && b.storeErr == nil {
-		b.store, b.storeErr = core.Open(b.box, core.QueryOptions{})
-	}
-	return b.store, b.storeErr
-}
-
-// Archive is an opened multi-block archive.
-type Archive struct {
-	blocks   []*block
-	numLines int
-	rawBytes int
-	// BlocksSkipped counts blocks eliminated by block stamps across all
-	// queries (harness statistic).
-	BlocksSkipped int
-}
-
-// Open parses an archive produced by Writer/Compress.
-func Open(data []byte) (*Archive, error) {
-	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	a := &Archive{}
-	pos := len(Magic)
-	for {
-		boxLen, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad frame length", ErrCorrupt)
-		}
-		pos += n
-		if boxLen == 0 {
-			break // terminator
-		}
-		if uint64(len(data)-pos) < boxLen {
-			return nil, fmt.Errorf("%w: truncated frame", ErrCorrupt)
-		}
-		b := &block{box: data[pos : pos+int(boxLen)], lineOff: a.numLines}
-		pos += int(boxLen)
-		uv := func() (uint64, error) {
-			v, n := binary.Uvarint(data[pos:])
-			if n <= 0 {
-				return 0, fmt.Errorf("%w: bad frame meta", ErrCorrupt)
-			}
-			pos += n
-			return v, nil
-		}
-		numLines, err := uv()
-		if err != nil {
-			return nil, err
-		}
-		rawBytes, err := uv()
-		if err != nil {
-			return nil, err
-		}
-		if pos >= len(data) {
-			return nil, fmt.Errorf("%w: bad frame stamp", ErrCorrupt)
-		}
-		mask := data[pos]
-		pos++
-		maxLen, err := uv()
-		if err != nil {
-			return nil, err
-		}
-		b.meta = blockMeta{
-			numLines: int(numLines),
-			rawBytes: int(rawBytes),
-			stamp:    rtpattern.Stamp{TypeMask: mask, MaxLen: int(maxLen)},
-		}
-		a.numLines += b.meta.numLines
-		a.rawBytes += b.meta.rawBytes
-		a.blocks = append(a.blocks, b)
-	}
-	return a, nil
-}
-
-// NumBlocks returns the block count.
-func (a *Archive) NumBlocks() int { return len(a.blocks) }
-
-// NumLines returns the total entry count.
-func (a *Archive) NumLines() int { return a.numLines }
-
-// RawBytes returns the total raw size the archive was built from.
-func (a *Archive) RawBytes() int { return a.rawBytes }
-
-// Result is an archive query result with global line numbers.
-type Result struct {
-	Lines   []int
-	Entries []string
-}
-
-// mayMatch applies the block stamp: every fragment of every search string
-// in the expression must be admissible for the block to need a look. A NOT
-// operand cannot prune (its entries may contain anything).
-func mayMatch(e query.Expr, st rtpattern.Stamp) bool {
-	switch x := e.(type) {
-	case *query.And:
-		return mayMatch(x.L, st) && mayMatch(x.R, st)
-	case *query.Or:
-		return mayMatch(x.L, st) || mayMatch(x.R, st)
-	case *query.Not:
-		return true
-	case *query.Search:
-		for _, frag := range x.Fragments {
-			if !st.Admits(frag) {
-				return false
-			}
-		}
-		return true
-	}
-	return true
-}
-
-// Query runs a command over all blocks, parallel across workers, and
-// merges results in global line order.
-func (a *Archive) Query(command string, workers int) (*Result, error) {
-	expr, err := query.Parse(command)
-	if err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type blockRes struct {
-		idx int
-		res *core.Result
-		err error
-	}
-	var (
-		wg   sync.WaitGroup
-		work = make(chan int)
-		out  = make(chan blockRes, len(a.blocks))
-	)
-	skipped := 0
-	var skipMu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				b := a.blocks[idx]
-				if !mayMatch(expr, b.meta.stamp) {
-					skipMu.Lock()
-					skipped++
-					skipMu.Unlock()
-					continue
-				}
-				st, err := b.openStore()
-				if err != nil {
-					out <- blockRes{idx: idx, err: err}
-					continue
-				}
-				res, err := st.Query(command)
-				out <- blockRes{idx: idx, res: res, err: err}
-			}
-		}()
-	}
-	for idx := range a.blocks {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
-	close(out)
-
-	byBlock := make([]*core.Result, len(a.blocks))
-	for r := range out {
-		if r.err != nil {
-			return nil, r.err
-		}
-		byBlock[r.idx] = r.res
-	}
-	a.BlocksSkipped += skipped
-
-	res := &Result{}
-	for idx, br := range byBlock {
-		if br == nil {
-			continue
-		}
-		off := a.blocks[idx].lineOff
-		for i, line := range br.Lines {
-			res.Lines = append(res.Lines, off+line)
-			res.Entries = append(res.Entries, br.Entries[i])
-		}
-	}
-	return res, nil
-}
-
-// Entry reconstructs one entry by its global line number.
-func (a *Archive) Entry(line int) (string, error) {
-	if line < 0 || line >= a.numLines {
-		return "", fmt.Errorf("archive: line %d out of range", line)
-	}
-	// Blocks are ordered by lineOff; binary search would do, but block
-	// counts are small.
-	for _, b := range a.blocks {
-		if line < b.lineOff+b.meta.numLines {
-			st, err := b.openStore()
-			if err != nil {
-				return "", err
-			}
-			return st.ReconstructLine(line - b.lineOff)
-		}
-	}
-	return "", fmt.Errorf("archive: line %d beyond blocks", line)
-}
-
-// ReconstructAll restores the entire raw stream, block by block.
-func (a *Archive) ReconstructAll() ([]string, error) {
-	out := make([]string, 0, a.numLines)
-	for _, b := range a.blocks {
-		st, err := b.openStore()
-		if err != nil {
-			return nil, err
-		}
-		lines, err := st.ReconstructAll()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, lines...)
-	}
-	return out, nil
 }

@@ -151,7 +151,7 @@ func TestArchiveBlockStampSkipping(t *testing.T) {
 	if len(res.Lines) != 500 {
 		t.Fatalf("matches = %d, want 500", len(res.Lines))
 	}
-	if a.BlocksSkipped == 0 {
+	if a.SkippedBlocks() == 0 {
 		t.Fatal("no blocks skipped by block stamps")
 	}
 	// The digit blocks must never have been opened.
@@ -194,13 +194,23 @@ func TestArchiveCorrupt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for cut := len(Magic); cut < len(data); cut += 2 {
-		if _, err := Open(data[:cut]); err == nil {
-			// Truncation before the terminator must error.
-			if cut < len(data)-1 {
-				t.Fatalf("truncation at %d accepted", cut)
-			}
+	// v2 contract: truncation never fails Open outright, but it must never
+	// go unnoticed either — every cut before the end surfaces as damage.
+	for cut := len(Magic); cut < len(data); cut++ {
+		a, err := Open(data[:cut])
+		if err != nil {
+			continue
 		}
+		if len(a.Damage()) == 0 && a.Verify(true) == nil {
+			t.Fatalf("truncation at %d undetected", cut)
+		}
+	}
+	a, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Verify(true); d != nil {
+		t.Fatalf("pristine archive reports damage: %v", d)
 	}
 }
 

@@ -1,0 +1,185 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"loggrep/internal/rtpattern"
+)
+
+// Frame format v2 ("LGRPARC2"). Every block is a frame: a fixed-size
+// header followed by the CapsuleBox payload. Header and payload carry
+// separate CRC32C checksums so damage is localized — a flipped bit in one
+// payload quarantines that block only, and a damaged header is skipped by
+// re-synchronizing on the next header whose checksum verifies.
+//
+//	offset size field
+//	0      4    uint32 LE  boxLen      (0 marks the terminator frame)
+//	4      4    uint32 LE  numLines    lines in the block
+//	8      4    uint32 LE  rawBytes    raw size the block was built from
+//	12     8    uint64 LE  lineOff     global line number of the first line
+//	20     1    uint8      stamp type mask
+//	21     4    uint32 LE  stamp max line length
+//	25     4    uint32 LE  payload CRC32C (0 for the terminator)
+//	29     4    uint32 LE  header CRC32C over bytes [0,29)
+//
+// The header stores the ABSOLUTE line offset rather than relying on
+// cumulative sums, so a reader that loses a frame to corruption can
+// re-synchronize and still report the surviving blocks' lines under the
+// same global numbering as a pristine archive. The terminator frame
+// (boxLen 0) records the archive's total line count in lineOff, making
+// truncation detectable even at a frame boundary.
+
+// headerSize is the fixed v2 frame header size in bytes.
+const headerSize = 33
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeader is a decoded v2 frame header.
+type frameHeader struct {
+	boxLen     int
+	meta       blockMeta
+	lineOff    int
+	payloadCRC uint32
+}
+
+// terminator reports whether the header marks the end of the archive.
+func (h *frameHeader) terminator() bool { return h.boxLen == 0 }
+
+// encodeHeader serializes a v2 frame header, computing both checksums.
+func encodeHeader(meta blockMeta, lineOff int, payload []byte) []byte {
+	var h [headerSize]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:], uint32(meta.numLines))
+	binary.LittleEndian.PutUint32(h[8:], uint32(meta.rawBytes))
+	binary.LittleEndian.PutUint64(h[12:], uint64(lineOff))
+	h[20] = meta.stamp.TypeMask
+	binary.LittleEndian.PutUint32(h[21:], uint32(meta.stamp.MaxLen))
+	if len(payload) > 0 {
+		binary.LittleEndian.PutUint32(h[25:], crc32.Checksum(payload, castagnoli))
+	}
+	binary.LittleEndian.PutUint32(h[29:], crc32.Checksum(h[:29], castagnoli))
+	return h[:]
+}
+
+// decodeHeader parses a candidate v2 frame header and verifies its
+// checksum. ok is false when the checksum does not match.
+func decodeHeader(b []byte) (h frameHeader, ok bool) {
+	if len(b) < headerSize {
+		return h, false
+	}
+	if crc32.Checksum(b[:29], castagnoli) != binary.LittleEndian.Uint32(b[29:33]) {
+		return h, false
+	}
+	h.boxLen = int(binary.LittleEndian.Uint32(b[0:]))
+	h.meta.numLines = int(binary.LittleEndian.Uint32(b[4:]))
+	h.meta.rawBytes = int(binary.LittleEndian.Uint32(b[8:]))
+	h.lineOff = int(binary.LittleEndian.Uint64(b[12:]))
+	h.meta.stamp = rtpattern.Stamp{TypeMask: b[20], MaxLen: int(binary.LittleEndian.Uint32(b[21:]))}
+	h.payloadCRC = binary.LittleEndian.Uint32(b[25:29])
+	return h, true
+}
+
+// FrameInfo locates one frame inside an archive buffer (diagnostics,
+// verification tooling and fault-injection tests).
+type FrameInfo struct {
+	// HeaderOff is the offset of the frame header (v2) or of the frame's
+	// leading length varint (v1).
+	HeaderOff int
+	// PayloadOff is the offset of the CapsuleBox payload.
+	PayloadOff int
+	// PayloadLen is the payload length in bytes.
+	PayloadLen int
+	// Lines is the number of log lines the frame's block holds.
+	Lines int
+	// Terminator marks the archive's final frame.
+	Terminator bool
+}
+
+// ScanFrames structurally parses an archive and returns the location of
+// every frame, terminator included. It fails on the first undecodable
+// frame — it is a layout scan for tooling and tests, not the quarantining
+// reader (use Open for that).
+func ScanFrames(data []byte) ([]FrameInfo, error) {
+	switch {
+	case hasMagic(data, Magic):
+		return scanFramesV2(data)
+	case hasMagic(data, MagicV1):
+		return scanFramesV1(data)
+	}
+	return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+}
+
+func scanFramesV2(data []byte) ([]FrameInfo, error) {
+	var out []FrameInfo
+	pos := len(Magic)
+	for {
+		h, ok := decodeHeader(data[pos:min(pos+headerSize, len(data))])
+		if !ok {
+			return nil, fmt.Errorf("%w: bad frame header at %d", ErrCorrupt, pos)
+		}
+		fi := FrameInfo{
+			HeaderOff:  pos,
+			PayloadOff: pos + headerSize,
+			PayloadLen: h.boxLen,
+			Lines:      h.meta.numLines,
+			Terminator: h.terminator(),
+		}
+		if h.boxLen > len(data)-pos-headerSize {
+			return nil, fmt.Errorf("%w: truncated frame at %d", ErrCorrupt, pos)
+		}
+		out = append(out, fi)
+		pos += headerSize + h.boxLen
+		if fi.Terminator {
+			return out, nil
+		}
+	}
+}
+
+func scanFramesV1(data []byte) ([]FrameInfo, error) {
+	var out []FrameInfo
+	pos := len(MagicV1)
+	for {
+		start := pos
+		boxLen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame length at %d", ErrCorrupt, pos)
+		}
+		pos += n
+		if boxLen == 0 {
+			out = append(out, FrameInfo{HeaderOff: start, PayloadOff: pos, Terminator: true})
+			return out, nil
+		}
+		if boxLen > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("%w: truncated frame at %d", ErrCorrupt, start)
+		}
+		fi := FrameInfo{HeaderOff: start, PayloadOff: pos, PayloadLen: int(boxLen)}
+		pos += int(boxLen)
+		// v1 trailer: numLines, rawBytes, mask, maxLen.
+		lines, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame meta at %d", ErrCorrupt, pos)
+		}
+		fi.Lines = int(lines)
+		pos += n
+		if _, n = binary.Uvarint(data[pos:]); n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame meta at %d", ErrCorrupt, pos)
+		}
+		pos += n + 1 // rawBytes + mask byte
+		if pos > len(data) {
+			return nil, fmt.Errorf("%w: bad frame stamp at %d", ErrCorrupt, start)
+		}
+		if _, n = binary.Uvarint(data[pos:]); n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame meta at %d", ErrCorrupt, pos)
+		}
+		pos += n
+		out = append(out, fi)
+	}
+}
+
+// hasMagic reports whether data starts with the given magic string.
+func hasMagic(data []byte, magic string) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == magic
+}

@@ -1,0 +1,107 @@
+package archive
+
+import (
+	"sort"
+	"testing"
+
+	"loggrep/internal/loggen"
+)
+
+// fuzzSeedArchives builds small archives in both formats plus damaged
+// variants — the corpus every archive fuzz target starts from.
+func fuzzSeedArchives(f *testing.F) [][]byte {
+	f.Helper()
+	lt, _ := loggen.ByName("A")
+	stream := lt.Block(1, 150)
+	opts := testOptions(3_000) // several tiny blocks
+	opts.Workers = 1
+	v2, err := Compress(stream, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	opts.FormatV1 = true
+	v1, err := Compress(stream, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)/3] ^= 0x10
+	headerHit := append([]byte(nil), v2...)
+	headerHit[len(Magic)+4] ^= 0x01
+	return [][]byte{
+		v2,
+		v1,
+		v2[:len(v2)/2], // truncated mid-stream
+		v2[:len(v2)-1], // terminator clipped
+		flipped,        // payload or header bit flip
+		headerHit,      // first frame header bit flip
+		[]byte(Magic),
+		[]byte(MagicV1),
+		nil,
+	}
+}
+
+// FuzzOpenArchive: arbitrary bytes must never panic Open or the lazy
+// per-block verification behind Verify, and whatever opens must expose a
+// consistent line space.
+func FuzzOpenArchive(f *testing.F) {
+	for _, seed := range fuzzSeedArchives(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Open(data)
+		if err != nil {
+			return
+		}
+		if a.NumLines() < 0 {
+			t.Fatalf("negative line count %d", a.NumLines())
+		}
+		prevEnd := 0
+		for _, b := range a.blocks {
+			if b.lineOff < prevEnd {
+				t.Fatalf("blocks overlap or unsorted at line %d", b.lineOff)
+			}
+			prevEnd = b.lineOff + b.meta.numLines
+			if prevEnd > a.NumLines() {
+				t.Fatalf("block ends at %d beyond NumLines %d", prevEnd, a.NumLines())
+			}
+		}
+		a.Verify(false)
+		if a.NumLines() > 0 {
+			a.Entry(0)
+			a.Entry(a.NumLines() - 1)
+		}
+	})
+}
+
+// FuzzArchiveQuery: a query over arbitrary archive bytes must never panic
+// or return an inconsistent result, whatever the corruption.
+func FuzzArchiveQuery(f *testing.F) {
+	seeds := fuzzSeedArchives(f)
+	for _, cmd := range []string{"ERROR", "req AND NOT state:503", "a*b"} {
+		for _, seed := range seeds {
+			f.Add(seed, cmd, uint8(2))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, cmd string, workers uint8) {
+		a, err := Open(data)
+		if err != nil {
+			return
+		}
+		res, err := a.Query(cmd, int(workers%5))
+		if err != nil {
+			return // unparsable command
+		}
+		if len(res.Lines) != len(res.Entries) {
+			t.Fatalf("%d lines but %d entries", len(res.Lines), len(res.Entries))
+		}
+		if !sort.IntsAreSorted(res.Lines) {
+			t.Fatal("result lines not in global order")
+		}
+		for _, l := range res.Lines {
+			if l < 0 || l >= a.NumLines() {
+				t.Fatalf("match line %d outside [0,%d)", l, a.NumLines())
+			}
+		}
+	})
+}

@@ -171,8 +171,8 @@ func decodeElems(d *decbuf) []PatternElem {
 			el.CapID = -1
 		} else {
 			el.Stamp.TypeMask = uint8(d.uint())
-			el.Stamp.MaxLen = int(d.uint())
-			el.Stamp.MinLen = int(d.uint())
+			el.Stamp.MaxLen = d.size()
+			el.Stamp.MinLen = d.size()
 			el.CapID = d.int()
 		}
 		elems = append(elems, el)
@@ -183,7 +183,13 @@ func decodeElems(d *decbuf) []PatternElem {
 func decodeMeta(raw []byte) (*Meta, error) {
 	d := &decbuf{b: raw}
 	m := &Meta{}
-	m.NumLines = int(d.uint())
+	m.NumLines = d.size()
+	// Every line costs at least one encoded byte in the group line maps or
+	// the outlier line list, so a line count beyond the metadata size is
+	// forged — reject it before it sizes the line index allocation.
+	if d.err == nil && m.NumLines > len(raw) {
+		d.fail("implausible line count")
+	}
 	m.Flags = d.uint()
 	m.OutlierCapID = d.int()
 	m.OutlierLines = d.ascInts()
@@ -193,11 +199,11 @@ func decodeMeta(raw []byte) (*Meta, error) {
 		var c Info
 		c.Kind = Kind(d.uint())
 		c.Stamp.TypeMask = uint8(d.uint())
-		c.Stamp.MaxLen = int(d.uint())
-		c.Stamp.MinLen = int(d.uint())
-		c.Rows = int(d.uint())
-		c.Width = int(d.uint())
-		c.ChunkRows = int(d.uint())
+		c.Stamp.MaxLen = d.size()
+		c.Stamp.MinLen = d.size()
+		c.Rows = d.size()
+		c.Width = d.size()
+		c.ChunkRows = d.size()
 		m.Capsules = append(m.Capsules, c)
 	}
 	ng := d.length(4)
@@ -223,21 +229,21 @@ func decodeMeta(raw []byte) (*Meta, error) {
 			switch v.Kind {
 			case RealVar:
 				v.Pattern = decodeElems(d)
-				v.NumSubs = int(d.uint())
+				v.NumSubs = d.size()
 				v.OutCapID = d.int()
 				v.OutRows = d.ascInts()
 				v.DictCapID, v.IndexCapID = -1, -1
 			case NominalVar:
 				v.DictCapID = d.int()
 				v.IndexCapID = d.int()
-				v.IndexWidth = int(d.uint())
+				v.IndexWidth = d.size()
 				ndp := d.length(3)
 				v.DictPatterns = make([]DictPatternMeta, 0, ndp)
 				for k := 0; k < ndp && d.err == nil; k++ {
 					var dp DictPatternMeta
 					dp.Elems = decodeElems(d)
-					dp.Count = int(d.uint())
-					dp.MaxLen = int(d.uint())
+					dp.Count = d.size()
+					dp.MaxLen = d.size()
 					v.DictPatterns = append(v.DictPatterns, dp)
 				}
 				v.OutCapID = -1
@@ -334,6 +340,20 @@ func ReadBox(data []byte) (*Box, error) {
 	return &Box{Meta: meta, refs: refs, cache: make(map[int][]byte), chunkCache: make(map[[2]int][]byte)}, nil
 }
 
+// payloadBound returns a sound upper bound on the decompressed size of a
+// capsule payload holding rows values: stamps record the true maximal value
+// length even in ablation modes, padded widths never exceed max(1, MaxLen),
+// and variable-length packing adds at most one delimiter per value. A
+// corrupt LZMA stream therefore cannot expand beyond what the capsule
+// directory promises.
+func payloadBound(rows int, info *Info) uint64 {
+	w := info.Width
+	if w < max(1, info.Stamp.MaxLen) {
+		w = max(1, info.Stamp.MaxLen)
+	}
+	return uint64(rows) * uint64(w+1)
+}
+
 // Payload returns the whole decompressed payload of capsule id, caching
 // it. For chunked capsules every chunk is decompressed and concatenated
 // (delimiter-joined for var-width capsules).
@@ -349,7 +369,7 @@ func (b *Box) Payload(id int) ([]byte, error) {
 	var p []byte
 	if len(ref.chunks) == 1 {
 		var err error
-		p, err = lzma.Decompress(ref.chunks[0])
+		p, err = lzma.DecompressLimit(ref.chunks[0], payloadBound(info.Rows, &info))
 		if err != nil {
 			return nil, fmt.Errorf("%w: capsule %d: %v", ErrCorrupt, id, err)
 		}
@@ -390,11 +410,17 @@ func (b *Box) PayloadChunk(id, ci int) ([]byte, error) {
 	if p, ok := b.chunkCache[key]; ok {
 		return p, nil
 	}
-	p, err := lzma.Decompress(ref.chunks[ci])
+	info := b.Meta.Capsules[id]
+	rowsBound := info.Rows
+	if len(ref.chunks) > 1 && info.ChunkRows > 0 {
+		if r := min(info.ChunkRows, info.Rows-ci*info.ChunkRows); r >= 0 {
+			rowsBound = r
+		}
+	}
+	p, err := lzma.DecompressLimit(ref.chunks[ci], payloadBound(rowsBound, &info))
 	if err != nil {
 		return nil, fmt.Errorf("%w: capsule %d chunk %d: %v", ErrCorrupt, id, ci, err)
 	}
-	info := b.Meta.Capsules[id]
 	if info.Width > 0 && len(ref.chunks) > 1 {
 		rowsIn := min(info.ChunkRows, info.Rows-ci*info.ChunkRows)
 		if rowsIn < 0 || len(p) != rowsIn*info.Width {

@@ -105,7 +105,7 @@ func sampleMeta() (*Meta, [][]byte) {
 			{Kind: SubVar, Stamp: rtpattern.Stamp{TypeMask: 5, MaxLen: 4}, Rows: 2, Width: 4},
 			{Kind: Dict, Stamp: rtpattern.Stamp{TypeMask: 63, MaxLen: 7}, Rows: 3, Width: 0},
 			{Kind: Index, Stamp: rtpattern.Stamp{TypeMask: 1, MaxLen: 1}, Rows: 3, Width: 1},
-			{Kind: Outlier, Rows: 1, Width: 0},
+			{Kind: Outlier, Stamp: rtpattern.Stamp{TypeMask: 63, MaxLen: 12}, Rows: 1, Width: 0},
 		},
 		Groups: []GroupMeta{
 			{
@@ -303,6 +303,9 @@ func TestQuickMetaRoundTrip(t *testing.T) {
 			}}
 			meta.Groups = append(meta.Groups, g)
 		}
+		// The bounded decoder rejects line counts the line maps cannot
+		// back, so declare the honest count for the lines generated above.
+		meta.NumLines = lineNo + 1
 		payloads := make([][]byte, len(meta.Capsules))
 		for i, c := range meta.Capsules {
 			if c.Width > 0 {
@@ -310,6 +313,9 @@ func TestQuickMetaRoundTrip(t *testing.T) {
 			} else {
 				payloads[i] = []byte("abc")
 				meta.Capsules[i].Rows = 1
+				if meta.Capsules[i].Stamp.MaxLen < 3 {
+					meta.Capsules[i].Stamp.MaxLen = 3
+				}
 			}
 		}
 		box, err := ReadBox(WriteBox(meta, payloads, 0))

@@ -58,6 +58,26 @@ func (d *decbuf) uint() uint64 {
 	return v
 }
 
+// maxFieldValue bounds every size-like field read from untrusted metadata
+// (row counts, widths, lengths). Values above it cannot occur in a box
+// built from a real log block and would overflow or mis-size downstream
+// allocations if trusted.
+const maxFieldValue = 1<<31 - 1
+
+// size reads a non-negative size-like field, rejecting implausible values
+// so they can never become negative ints or overflow products downstream.
+func (d *decbuf) size() int {
+	v := d.uint()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxFieldValue {
+		d.fail("implausible size field")
+		return 0
+	}
+	return int(v)
+}
+
 func (d *decbuf) int() int {
 	if d.err != nil {
 		return 0

@@ -6,9 +6,29 @@ import "testing"
 // serve payloads without panicking.
 func FuzzReadBox(f *testing.F) {
 	meta, payloads := sampleMeta()
-	f.Add(WriteBox(meta, payloads, 0))
+	valid := WriteBox(meta, payloads, 0)
+	f.Add(valid)
 	f.Add([]byte(BoxMagic))
 	f.Add([]byte(nil))
+	f.Add(valid[:len(valid)/2])
+	// Boxes the bounded decoder must reject: each encodes one metadata
+	// field at a size no real log block can produce. Before size fields
+	// were bounds-checked these drove giant allocations downstream.
+	for _, mutate := range []func(m *Meta){
+		func(m *Meta) { m.NumLines = 1 << 40 },
+		func(m *Meta) { m.Capsules[0].Rows = 1 << 40 },
+		func(m *Meta) { m.Capsules[0].Stamp.MaxLen = 1 << 40 },
+		func(m *Meta) { m.Capsules[2].Width = 1 << 40 },
+		func(m *Meta) { m.Groups[1].Vars[0].IndexWidth = 1 << 30 },
+		func(m *Meta) { m.Groups[1].Vars[0].DictPatterns[0].Count = 1 << 40 },
+		// A vacuous stamp over a sized payload: the decompress bound
+		// derived from the stamp must reject the oversized payload.
+		func(m *Meta) { m.Capsules[4].Stamp.MaxLen = 0 },
+	} {
+		m, p := sampleMeta()
+		mutate(m)
+		f.Add(WriteBox(m, p, 0))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		box, err := ReadBox(data)
 		if err != nil {

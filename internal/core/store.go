@@ -79,6 +79,7 @@ func Open(data []byte, opts QueryOptions) (*Store, error) {
 		size:           len(data),
 	}
 	st.lineIndex = make([]lineRef, box.Meta.NumLines)
+	covered := make([]bool, box.Meta.NumLines)
 	for gi := range box.Meta.Groups {
 		g := &box.Meta.Groups[gi]
 		qg := &qGroup{meta: g, n: g.Rows()}
@@ -112,15 +113,41 @@ func Open(data []byte, opts QueryOptions) (*Store, error) {
 			if line < 0 || line >= len(st.lineIndex) {
 				return nil, fmt.Errorf("%w: line %d out of range", capsule.ErrCorrupt, line)
 			}
+			if covered[line] {
+				return nil, fmt.Errorf("%w: line %d mapped twice", capsule.ErrCorrupt, line)
+			}
+			covered[line] = true
 			st.lineIndex[line] = lineRef{group: gi, row: row}
 		}
 		st.groups = append(st.groups, qg)
+	}
+	if oc := box.Meta.OutlierCapID; oc >= 0 {
+		if oc >= len(box.Meta.Capsules) {
+			return nil, fmt.Errorf("%w: outlier capsule id %d out of range", capsule.ErrCorrupt, oc)
+		}
+		if box.Meta.Capsules[oc].Rows != len(box.Meta.OutlierLines) {
+			return nil, fmt.Errorf("%w: outlier capsule rows mismatch", capsule.ErrCorrupt)
+		}
+	} else if len(box.Meta.OutlierLines) > 0 {
+		return nil, fmt.Errorf("%w: outlier lines without an outlier capsule", capsule.ErrCorrupt)
 	}
 	for rank, line := range box.Meta.OutlierLines {
 		if line < 0 || line >= len(st.lineIndex) {
 			return nil, fmt.Errorf("%w: outlier line %d out of range", capsule.ErrCorrupt, line)
 		}
+		if covered[line] {
+			return nil, fmt.Errorf("%w: outlier line %d mapped twice", capsule.ErrCorrupt, line)
+		}
+		covered[line] = true
 		st.lineIndex[line] = lineRef{group: -1, row: rank}
+	}
+	// Every line must be mapped: an uncovered line would silently
+	// reconstruct as group 0 row 0, turning corrupt metadata into wrong
+	// query matches instead of an error.
+	for line, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d unmapped", capsule.ErrCorrupt, line)
+		}
 	}
 	return st, nil
 }
@@ -128,6 +155,13 @@ func Open(data []byte, opts QueryOptions) (*Store, error) {
 // checkRealVar validates capsule references before they are dereferenced.
 func (st *Store) checkRealVar(vm *capsule.VarMeta, groupRows int) error {
 	nc := len(st.box.Meta.Capsules)
+	prev := -1
+	for _, r := range vm.OutRows {
+		if r <= prev || r >= groupRows {
+			return fmt.Errorf("%w: outlier row %d out of order or range", capsule.ErrCorrupt, r)
+		}
+		prev = r
+	}
 	matched := groupRows - len(vm.OutRows)
 	for _, e := range vm.Pattern {
 		if e.Sub < 0 {
@@ -169,8 +203,11 @@ func (st *Store) checkNominalVar(vm *capsule.VarMeta, groupRows int) error {
 	if total != st.box.Meta.Capsules[vm.DictCapID].Rows {
 		return fmt.Errorf("%w: dict pattern counts mismatch", capsule.ErrCorrupt)
 	}
-	if vm.IndexWidth < 1 {
-		return fmt.Errorf("%w: bad index width", capsule.ErrCorrupt)
+	// Index entries are decimal-rendered dictionary positions; 20 digits
+	// covers any int64, so a wider index is forged (and would otherwise
+	// size huge per-lookup strings).
+	if vm.IndexWidth < 1 || vm.IndexWidth > 20 {
+		return fmt.Errorf("%w: bad index width %d", capsule.ErrCorrupt, vm.IndexWidth)
 	}
 	return nil
 }

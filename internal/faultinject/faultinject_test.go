@@ -1,0 +1,73 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorruptorsArePure(t *testing.T) {
+	orig := []byte("0123456789abcdef")
+	for _, c := range []Corruptor{
+		BitFlip(3, 5),
+		BitFlip(100, 0), // past the end: no-op
+		Truncate(4),
+		Truncate(100),
+		ZeroRun(2, 5),
+		ZeroRun(14, 10), // runs off the end
+		SwapRanges(0, 4, 8, 4),
+		SwapRanges(2, 6, 4, 2), // overlapping: no-op
+	} {
+		before := append([]byte(nil), orig...)
+		got1 := c.Apply(orig)
+		got2 := c.Apply(orig)
+		if !bytes.Equal(orig, before) {
+			t.Fatalf("%s mutated its input", c.Name)
+		}
+		if !bytes.Equal(got1, got2) {
+			t.Fatalf("%s is not deterministic", c.Name)
+		}
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	got := BitFlip(1, 0).Apply([]byte{0, 0, 0})
+	if got[1] != 1 || got[0] != 0 || got[2] != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if g := BitFlip(1, 0).Apply(got); g[1] != 0 {
+		t.Fatal("double flip must restore")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := Truncate(2).Apply([]byte("abcd")); string(got) != "ab" {
+		t.Fatalf("got %q", got)
+	}
+	if got := Truncate(-1).Apply([]byte("abcd")); len(got) != 0 {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestZeroRun(t *testing.T) {
+	got := ZeroRun(1, 2).Apply([]byte("abcd"))
+	if string(got) != "a\x00\x00d" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSwapRanges(t *testing.T) {
+	got := SwapRanges(0, 2, 4, 2).Apply([]byte("AAbbCCdd"))
+	if string(got) != "CCbbAAdd" {
+		t.Fatalf("got %q", got)
+	}
+	// Unequal lengths reorder the middle correctly.
+	got = SwapRanges(0, 1, 2, 3).Apply([]byte("XyZZZtail"))
+	if string(got) != "ZZZyXtail" {
+		t.Fatalf("got %q", got)
+	}
+	// Arguments in either order give the same result.
+	rev := SwapRanges(2, 3, 0, 1).Apply([]byte("XyZZZtail"))
+	if !bytes.Equal(got, rev) {
+		t.Fatalf("order-sensitive: %q vs %q", got, rev)
+	}
+}

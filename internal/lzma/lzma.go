@@ -216,9 +216,28 @@ func Compress(data []byte) []byte {
 	return append(header, e.flush()...)
 }
 
+// MaxOutput is the default output bound of Decompress: a forged length
+// header cannot make the decoder emit more than this many bytes.
+const MaxOutput = 1 << 34
+
+// MaxExpansion bounds the decoder's output-to-input ratio. The encoder's
+// best case measures ~8100:1 on constant input (match length is capped at
+// 273 and slot coding adds overhead), so 16384:1 cannot reject a stream
+// this encoder produced — while garbage that forges a huge length header
+// can only make the decoder do work proportional to the garbage's size.
+const MaxExpansion = 1 << 14
+
 // Decompress reverses Compress. It returns ErrCorrupt (possibly wrapped)
-// for malformed input.
+// for malformed input. Output is bounded by MaxOutput; callers that know
+// the expected size should use DecompressLimit for a tighter bound.
 func Decompress(comp []byte) ([]byte, error) {
+	return DecompressLimit(comp, MaxOutput)
+}
+
+// DecompressLimit reverses Compress, rejecting streams whose declared
+// output size exceeds limit. Corrupt or adversarial input can therefore
+// never allocate (or emit) more than limit bytes.
+func DecompressLimit(comp []byte, limit uint64) ([]byte, error) {
 	if len(comp) < len(magic) || string(comp[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -227,8 +246,14 @@ func Decompress(comp []byte) ([]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: bad length", ErrCorrupt)
 	}
-	if rawLen > 1<<34 {
-		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, rawLen)
+	if limit > MaxOutput {
+		limit = MaxOutput
+	}
+	if byRatio := 64 + uint64(len(comp))*MaxExpansion; limit > byRatio {
+		limit = byRatio
+	}
+	if rawLen > limit {
+		return nil, fmt.Errorf("%w: implausible length %d (limit %d)", ErrCorrupt, rawLen, limit)
 	}
 	if rawLen == 0 {
 		return []byte{}, nil

@@ -12,6 +12,11 @@
 //	GET    /v1/query?source=S&q=CMD          matching lines + entries
 //	GET    /v1/count?source=S&q=CMD          match count only
 //	GET    /v1/entry?source=S&line=N         one reconstructed entry
+//
+// Archives with damaged blocks still answer: /v1/query reports the
+// damaged line ranges in the response's "damaged" field alongside the
+// matches from healthy blocks. Adding &strict=1 turns any damage into an
+// error response instead.
 package server
 
 import (
@@ -48,34 +53,35 @@ func (s *source) numLines() int {
 	return s.box.NumLines()
 }
 
-func (s *source) query(cmd string) ([]int, []string, error) {
+func (s *source) query(cmd string) ([]int, []string, []archive.BlockError, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.arch != nil {
 		res, err := s.arch.Query(cmd, 0)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return res.Lines, res.Entries, nil
+		return res.Lines, res.Entries, res.Damaged, nil
 	}
 	res, err := s.box.Query(cmd)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res.Lines, res.Entries, nil
+	return res.Lines, res.Entries, nil, nil
 }
 
-func (s *source) count(cmd string) (int, error) {
+func (s *source) count(cmd string) (matches, damaged int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.arch != nil {
 		res, err := s.arch.Query(cmd, 0)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return len(res.Lines), nil
+		return len(res.Lines), len(res.Damaged), nil
 	}
-	return s.box.Count(cmd)
+	matches, err = s.box.Count(cmd)
+	return matches, 0, err
 }
 
 func (s *source) entry(line int) (string, error) {
@@ -105,7 +111,7 @@ func (sv *Server) Load(name string, data []byte) error {
 		return fmt.Errorf("server: empty source name")
 	}
 	src := &source{bytes: len(data)}
-	if len(data) >= len(archive.Magic) && string(data[:len(archive.Magic)]) == archive.Magic {
+	if archive.IsArchive(data) {
 		a, err := archive.Open(data)
 		if err != nil {
 			return err
@@ -223,10 +229,35 @@ func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (*source, strin
 }
 
 type queryResponse struct {
-	Matches   int      `json:"matches"`
-	Lines     []int    `json:"lines"`
-	Entries   []string `json:"entries"`
-	ElapsedMS float64  `json:"elapsed_ms"`
+	Matches   int          `json:"matches"`
+	Lines     []int        `json:"lines"`
+	Entries   []string     `json:"entries"`
+	Damaged   []damageInfo `json:"damaged,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// damageInfo is the JSON shape of one archive.BlockError.
+type damageInfo struct {
+	Block     int    `json:"block"`
+	FirstLine int    `json:"first_line"`
+	NumLines  int    `json:"num_lines"`
+	Error     string `json:"error"`
+}
+
+func damageJSON(damaged []archive.BlockError) []damageInfo {
+	if len(damaged) == 0 {
+		return nil
+	}
+	out := make([]damageInfo, len(damaged))
+	for i := range damaged {
+		out[i] = damageInfo{
+			Block:     damaged[i].Block,
+			FirstLine: damaged[i].FirstLine,
+			NumLines:  damaged[i].NumLines,
+			Error:     damaged[i].Err.Error(),
+		}
+	}
+	return out
 }
 
 func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -235,15 +266,21 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	lines, entries, err := src.query(cmd)
+	lines, entries, damaged, err := src.query(cmd)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(damaged) > 0 && r.URL.Query().Get("strict") == "1" {
+		httpError(w, http.StatusInternalServerError,
+			fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(damaged)))
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Matches:   len(lines),
 		Lines:     lines,
 		Entries:   entries,
+		Damaged:   damageJSON(damaged),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
@@ -254,15 +291,19 @@ func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	n, err := src.count(cmd)
+	n, damaged, err := src.count(cmd)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"matches":    n,
 		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	if damaged > 0 {
+		resp["damaged_regions"] = damaged
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (sv *Server) handleEntry(w http.ResponseWriter, r *http.Request) {

@@ -112,8 +112,15 @@ type ArchiveWriter = archive.Writer
 // ArchiveOptions configures archive creation.
 type ArchiveOptions = archive.Options
 
-// ArchiveResult is an archive query result with stream-global line numbers.
+// ArchiveResult is an archive query result with stream-global line
+// numbers. Its Damaged field lists blocks that could not be searched;
+// results are complete for every line range not listed there.
 type ArchiveResult = archive.Result
+
+// ArchiveBlockError describes one damaged region of an archive: a block
+// whose checksum or decode failed, or a line range lost to header
+// corruption or truncation.
+type ArchiveBlockError = archive.BlockError
 
 // DefaultArchiveOptions uses 64 MB blocks (the paper's production block
 // size) and one compression worker per CPU.
@@ -130,11 +137,11 @@ func CompressArchive(stream []byte, opts ArchiveOptions) ([]byte, error) {
 	return archive.Compress(stream, opts)
 }
 
-// OpenArchive parses an archive produced by an ArchiveWriter.
+// OpenArchive parses an archive produced by an ArchiveWriter, either
+// format version. Damaged v2 frames are quarantined rather than failing
+// the open; inspect Archive.Damage or Archive.Verify for their extent.
 func OpenArchive(data []byte) (*Archive, error) { return archive.Open(data) }
 
-// IsArchive reports whether data looks like an archive rather than a
-// single CapsuleBox.
-func IsArchive(data []byte) bool {
-	return len(data) >= len(archive.Magic) && string(data[:len(archive.Magic)]) == archive.Magic
-}
+// IsArchive reports whether data looks like an archive (any supported
+// format version) rather than a single CapsuleBox.
+func IsArchive(data []byte) bool { return archive.IsArchive(data) }
