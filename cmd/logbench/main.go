@@ -11,6 +11,7 @@
 //	logbench -exp fig8 -lines 50000           # bigger blocks
 //	logbench -exp fig3|fig9|stats|padding|crossover|table1
 //	logbench -file app.log -query 'ERROR AND state:503'  # your own log
+//	logbench -exp fig7 -stages                # + compression stage breakdown
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	queries := flag.Float64("queries", 100, "query count for the cost model")
 	file := flag.String("file", "", "run the 5-system comparison on this raw log file instead of synthetic workloads")
 	fileQuery := flag.String("query", "", "query command for -file mode")
+	stages := flag.Bool("stages", false, "print the compression stage breakdown (parse/extract/assemble/pack) at the end")
 	flag.Parse()
 
 	cfg := harness.Config{LinesPerLog: *lines, Seed: *seed, QueryReps: *reps}
@@ -55,6 +57,9 @@ func main() {
 		}
 		harness.PrintFig7(os.Stdout, rows)
 		harness.PrintFig8(os.Stdout, harness.Fig8(rows, params))
+		if *stages {
+			harness.PrintStageBreakdown(os.Stdout)
+		}
 		return
 	}
 
@@ -136,6 +141,9 @@ func main() {
 		}
 		return nil
 	})
+	if *stages {
+		harness.PrintStageBreakdown(w)
+	}
 }
 
 func pickLogs(class string) []loggen.LogType {

@@ -1,14 +1,9 @@
 // Command loggrep compresses log blocks into CapsuleBoxes (or multi-block
 // archives) and runs grep-like queries on them.
 //
-// Usage:
-//
-//	loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N]
-//	                 [-sp] [-no-pad] [-no-stamps] [-chunk-kb N] <logfile>
-//	loggrep query [-strict] <file.lgrep> <query command>
-//	loggrep cat [-strict] <file.lgrep>
-//	loggrep verify [-deep] <file.lgrep>
-//	loggrep stat <file.lgrep>
+// Run `loggrep help` for the command list and `loggrep help <command>`
+// for one command's flags; both are generated from the real flag sets,
+// so they cannot drift from the implementation.
 //
 // Archives with damaged blocks still answer queries: matches from healthy
 // blocks are printed and each damaged region is reported on stderr. With
@@ -21,6 +16,7 @@
 //	loggrep compress -o app.lgrep app.log
 //	loggrep compress -archive -block-mb 16 big.log
 //	loggrep query app.lgrep 'ERROR AND dst:11.8.* NOT state:503'
+//	loggrep query -trace app.lgrep ERROR
 //	loggrep cat app.lgrep > app.log.restored
 //	loggrep verify -deep app.lgrep
 package main
@@ -28,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -35,46 +32,113 @@ import (
 	"loggrep"
 )
 
+// command is one loggrep subcommand. Its flag set is the single source of
+// truth for help text: the usage listing and `loggrep help <cmd>` are
+// generated from it, so documented flags are exactly the implemented ones.
+type command struct {
+	name    string
+	args    string // positional-argument hint for the usage line
+	summary string
+	fs      *flag.FlagSet
+	run     func() error // called after fs.Parse; positionals via fs.Args()
+}
+
+func (c *command) usageLine() string {
+	line := "loggrep " + c.name
+	if numFlags(c.fs) > 0 {
+		line += " [flags]"
+	}
+	if c.args != "" {
+		line += " " + c.args
+	}
+	return line
+}
+
+func numFlags(fs *flag.FlagSet) int {
+	n := 0
+	fs.VisitAll(func(*flag.Flag) { n++ })
+	return n
+}
+
+// commands builds the subcommand table. Fresh per call so tests can
+// exercise it without shared flag state.
+func commands() []*command {
+	return []*command{
+		newCompressCmd(),
+		newQueryCmd(),
+		newCatCmd(),
+		newVerifyCmd(),
+		newStatCmd(),
+		newExplainCmd(),
+	}
+}
+
+func findCommand(cmds []*command, name string) *command {
+	for _, c := range cmds {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// writeUsage prints the one-line-per-command overview.
+func writeUsage(w io.Writer, cmds []*command) {
+	fmt.Fprintln(w, "usage: loggrep <command> [flags] [args]")
+	fmt.Fprintln(w, "\ncommands:")
+	for _, c := range cmds {
+		fmt.Fprintf(w, "  %-10s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(w, "  help       detailed help for one command: loggrep help <command>")
+}
+
+// writeHelp prints one command's summary, usage line, and flags — straight
+// from its flag set.
+func writeHelp(w io.Writer, c *command) {
+	fmt.Fprintf(w, "%s\n\nusage: %s\n", c.summary, c.usageLine())
+	if numFlags(c.fs) > 0 {
+		fmt.Fprintln(w, "\nflags:")
+		c.fs.SetOutput(w)
+		c.fs.PrintDefaults()
+	}
+}
+
 func main() {
+	cmds := commands()
 	if len(os.Args) < 2 {
-		usage()
+		writeUsage(os.Stderr, cmds)
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "compress":
-		err = cmdCompress(os.Args[2:])
-	case "query":
-		err = cmdQuery(os.Args[2:])
-	case "cat":
-		err = cmdCat(os.Args[2:])
-	case "verify":
-		err = cmdVerify(os.Args[2:])
-	case "stat":
-		err = cmdStat(os.Args[2:])
-	case "explain":
-		err = cmdExplain(os.Args[2:])
-	default:
-		usage()
+	name := os.Args[1]
+	if name == "help" || name == "-h" || name == "--help" {
+		if len(os.Args) >= 3 {
+			c := findCommand(cmds, os.Args[2])
+			if c == nil {
+				fmt.Fprintf(os.Stderr, "loggrep: unknown command %q\n", os.Args[2])
+				writeUsage(os.Stderr, cmds)
+				os.Exit(2)
+			}
+			writeHelp(os.Stdout, c)
+			return
+		}
+		writeUsage(os.Stdout, cmds)
+		return
+	}
+	c := findCommand(cmds, name)
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "loggrep: unknown command %q\n", name)
+		writeUsage(os.Stderr, cmds)
 		os.Exit(2)
 	}
-	if err != nil {
+	c.fs.Usage = func() { writeHelp(os.Stderr, c) }
+	c.fs.Parse(os.Args[2:])
+	if err := c.run(); err != nil {
 		fmt.Fprintln(os.Stderr, "loggrep:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  loggrep compress [-o out.lgrep] [-archive] [-block-mb 64] [-workers N] [-sp] [-no-pad] [-no-stamps] <logfile>
-  loggrep query [-strict] <file.lgrep> <query command>
-  loggrep cat [-strict] <file.lgrep>
-  loggrep verify [-deep] <file.lgrep>
-  loggrep stat <file.lgrep>
-  loggrep explain <box.lgrep> <query command>`)
-}
-
-func cmdCompress(args []string) error {
+func newCompressCmd() *command {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default <logfile>.lgrep)")
 	arch := fs.Bool("archive", false, "build a multi-block archive")
@@ -84,49 +148,57 @@ func cmdCompress(args []string) error {
 	noPad := fs.Bool("no-pad", false, "disable fixed-length padding")
 	noStamps := fs.Bool("no-stamps", false, "disable capsule stamps")
 	chunkKB := fs.Int("chunk-kb", 0, "cut capsules into N-KB chunks (0 = whole capsules)")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("compress needs exactly one log file")
+	c := &command{
+		name:    "compress",
+		args:    "<logfile>",
+		summary: "compress a log file into a CapsuleBox or archive",
+		fs:      fs,
 	}
-	in := fs.Arg(0)
-	block, err := os.ReadFile(in)
-	if err != nil {
-		return err
-	}
-	opts := loggrep.DefaultOptions()
-	opts.StaticOnly = *sp
-	opts.DisablePadding = *noPad
-	opts.DisableStamps = *noStamps
-	opts.ChunkBytes = *chunkKB << 10
-
-	var data []byte
-	if *arch {
-		aopts := loggrep.DefaultArchiveOptions()
-		aopts.Core = opts
-		aopts.BlockBytes = *blockMB << 20
-		aopts.Workers = *workers
-		data, err = loggrep.CompressArchive(block, aopts)
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("compress needs exactly one log file")
+		}
+		in := fs.Arg(0)
+		block, err := os.ReadFile(in)
 		if err != nil {
 			return err
 		}
-	} else {
-		data = loggrep.Compress(block, opts)
+		opts := loggrep.DefaultOptions()
+		opts.StaticOnly = *sp
+		opts.DisablePadding = *noPad
+		opts.DisableStamps = *noStamps
+		opts.ChunkBytes = *chunkKB << 10
+
+		var data []byte
+		if *arch {
+			aopts := loggrep.DefaultArchiveOptions()
+			aopts.Core = opts
+			aopts.BlockBytes = *blockMB << 20
+			aopts.Workers = *workers
+			data, err = loggrep.CompressArchive(block, aopts)
+			if err != nil {
+				return err
+			}
+		} else {
+			data = loggrep.Compress(block, opts)
+		}
+		dst := *out
+		if dst == "" {
+			dst = in + ".lgrep"
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d -> %d bytes (%.2fx)\n", dst, len(block), len(data),
+			float64(len(block))/float64(len(data)))
+		return nil
 	}
-	dst := *out
-	if dst == "" {
-		dst = in + ".lgrep"
-	}
-	if err := os.WriteFile(dst, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("%s: %d -> %d bytes (%.2fx)\n", dst, len(block), len(data),
-		float64(len(block))/float64(len(data)))
-	return nil
+	return c
 }
 
 // opened abstracts a single box or an archive.
 type opened interface {
-	Query(command string) ([]int, []string, int, []loggrep.ArchiveBlockError, error)
+	Query(command string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error)
 	Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error)
 	Stat() string
 	Verify(deep bool) []loggrep.ArchiveBlockError
@@ -134,12 +206,21 @@ type opened interface {
 
 type boxFile struct{ st *loggrep.Store }
 
-func (b boxFile) Query(cmd string) ([]int, []string, int, []loggrep.ArchiveBlockError, error) {
-	res, err := b.st.Query(cmd)
-	if err != nil {
-		return nil, nil, 0, nil, err
+func (b boxFile) Query(cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
+	var (
+		res *loggrep.Result
+		tr  *loggrep.Trace
+		err error
+	)
+	if traced {
+		res, tr, err = b.st.QueryTraced(cmd)
+	} else {
+		res, err = b.st.Query(cmd)
 	}
-	return res.Lines, res.Entries, res.Decompressions, nil, nil
+	if err != nil {
+		return nil, nil, 0, nil, nil, err
+	}
+	return res.Lines, res.Entries, res.Decompressions, nil, tr, nil
 }
 func (b boxFile) Cat(bool) ([]string, []loggrep.ArchiveBlockError, error) {
 	lines, err := b.st.ReconstructAll()
@@ -167,12 +248,21 @@ type archFile struct {
 	size int
 }
 
-func (a archFile) Query(cmd string) ([]int, []string, int, []loggrep.ArchiveBlockError, error) {
-	res, err := a.a.Query(cmd, 0)
-	if err != nil {
-		return nil, nil, 0, nil, err
+func (a archFile) Query(cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
+	var (
+		res *loggrep.ArchiveResult
+		tr  *loggrep.Trace
+		err error
+	)
+	if traced {
+		res, tr, err = a.a.QueryTraced(cmd, 0)
+	} else {
+		res, err = a.a.Query(cmd, 0)
 	}
-	return res.Lines, res.Entries, 0, res.Damaged, nil
+	if err != nil {
+		return nil, nil, 0, nil, nil, err
+	}
+	return res.Lines, res.Entries, 0, res.Damaged, tr, nil
 }
 func (a archFile) Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error) {
 	if strict {
@@ -223,103 +313,151 @@ func reportDamage(damaged []loggrep.ArchiveBlockError, strict bool) error {
 	return nil
 }
 
-func cmdQuery(args []string) error {
+func newQueryCmd() *command {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "fail if any block is damaged instead of returning partial results")
-	fs.Parse(args)
-	if fs.NArg() < 2 {
-		return fmt.Errorf("query needs a compressed file and a command")
+	trace := fs.Bool("trace", false, "print a per-stage span breakdown to stderr")
+	c := &command{
+		name:    "query",
+		args:    "<file.lgrep> <query command>",
+		summary: "run a grep-like command, print matching lines",
+		fs:      fs,
 	}
-	f, err := openAny(fs.Arg(0))
-	if err != nil {
-		return err
+	c.run = func() error {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("query needs a compressed file and a command")
+		}
+		f, err := openAny(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		lines, entries, decomp, damaged, tr, err := f.Query(strings.Join(fs.Args()[1:], " "), *trace)
+		if err != nil {
+			return err
+		}
+		for i, line := range lines {
+			fmt.Printf("%d:%s\n", line+1, entries[i])
+		}
+		if decomp > 0 {
+			fmt.Fprintf(os.Stderr, "%d matches, %d capsules decompressed\n", len(lines), decomp)
+		} else {
+			fmt.Fprintf(os.Stderr, "%d matches\n", len(lines))
+		}
+		if tr != nil {
+			fmt.Fprint(os.Stderr, tr.String())
+		}
+		return reportDamage(damaged, *strict)
 	}
-	lines, entries, decomp, damaged, err := f.Query(strings.Join(fs.Args()[1:], " "))
-	if err != nil {
-		return err
-	}
-	for i, line := range lines {
-		fmt.Printf("%d:%s\n", line+1, entries[i])
-	}
-	if decomp > 0 {
-		fmt.Fprintf(os.Stderr, "%d matches, %d capsules decompressed\n", len(lines), decomp)
-	} else {
-		fmt.Fprintf(os.Stderr, "%d matches\n", len(lines))
-	}
-	return reportDamage(damaged, *strict)
+	return c
 }
 
-func cmdCat(args []string) error {
+func newCatCmd() *command {
 	fs := flag.NewFlagSet("cat", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "fail on any damage instead of restoring what survives")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("cat needs a compressed file")
+	c := &command{
+		name:    "cat",
+		args:    "<file.lgrep>",
+		summary: "decompress and print every log entry",
+		fs:      fs,
 	}
-	f, err := openAny(fs.Arg(0))
-	if err != nil {
-		return err
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("cat needs a compressed file")
+		}
+		f, err := openAny(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		lines, damaged, err := f.Cat(*strict)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return reportDamage(damaged, *strict)
 	}
-	lines, damaged, err := f.Cat(*strict)
-	if err != nil {
-		return err
-	}
-	for _, l := range lines {
-		fmt.Println(l)
-	}
-	return reportDamage(damaged, *strict)
+	return c
 }
 
-func cmdVerify(args []string) error {
+func newVerifyCmd() *command {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	deep := fs.Bool("deep", false, "additionally reconstruct every line")
-	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("verify needs a compressed file")
+	c := &command{
+		name:    "verify",
+		args:    "<file.lgrep>",
+		summary: "check frame structure and checksums",
+		fs:      fs,
 	}
-	f, err := openAny(fs.Arg(0))
-	if err != nil {
-		return err
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("verify needs a compressed file")
+		}
+		f, err := openAny(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		damaged := f.Verify(*deep)
+		if len(damaged) == 0 {
+			fmt.Println("ok")
+			return nil
+		}
+		return reportDamage(damaged, true)
 	}
-	damaged := f.Verify(*deep)
-	if len(damaged) == 0 {
-		fmt.Println("ok")
+	return c
+}
+
+func newStatCmd() *command {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	c := &command{
+		name:    "stat",
+		args:    "<file.lgrep>",
+		summary: "print format, line count, and size summary",
+		fs:      fs,
+	}
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("stat needs a compressed file")
+		}
+		f, err := openAny(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Stat())
 		return nil
 	}
-	return reportDamage(damaged, true)
+	return c
 }
 
-func cmdExplain(args []string) error {
-	if len(args) < 2 {
-		return fmt.Errorf("explain needs a box file and a command")
+func newExplainCmd() *command {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	c := &command{
+		name:    "explain",
+		args:    "<box.lgrep> <query command>",
+		summary: "show the query plan and stamp-filtering funnel",
+		fs:      fs,
 	}
-	data, err := os.ReadFile(args[0])
-	if err != nil {
-		return err
+	c.run = func() error {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("explain needs a box file and a command")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if loggrep.IsArchive(data) {
+			return fmt.Errorf("explain works on single boxes, not archives")
+		}
+		st, err := loggrep.Open(data, loggrep.QueryOptions{})
+		if err != nil {
+			return err
+		}
+		ex, err := st.Explain(strings.Join(fs.Args()[1:], " "))
+		if err != nil {
+			return err
+		}
+		fmt.Print(ex.String())
+		return nil
 	}
-	if loggrep.IsArchive(data) {
-		return fmt.Errorf("explain works on single boxes, not archives")
-	}
-	st, err := loggrep.Open(data, loggrep.QueryOptions{})
-	if err != nil {
-		return err
-	}
-	ex, err := st.Explain(strings.Join(args[1:], " "))
-	if err != nil {
-		return err
-	}
-	fmt.Print(ex.String())
-	return nil
-}
-
-func cmdStat(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("stat needs a compressed file")
-	}
-	f, err := openAny(args[0])
-	if err != nil {
-		return err
-	}
-	fmt.Println(f.Stat())
-	return nil
+	return c
 }

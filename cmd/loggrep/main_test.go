@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -144,6 +145,88 @@ func TestCLIVerifyAndStrict(t *testing.T) {
 		t.Fatalf("cat stderr lacks damage report: %q", stderr)
 	}
 	runFail(t, bin, "cat", "-strict", badPath)
+}
+
+// TestUsageListsEveryCommand pins the property the help system exists
+// for: the overview is generated from the command table, so every command
+// and summary appears in it.
+func TestUsageListsEveryCommand(t *testing.T) {
+	cmds := commands()
+	var b strings.Builder
+	writeUsage(&b, cmds)
+	out := b.String()
+	for _, c := range cmds {
+		if !strings.Contains(out, c.name) {
+			t.Errorf("usage missing command %q:\n%s", c.name, out)
+		}
+		if !strings.Contains(out, c.summary) {
+			t.Errorf("usage missing summary for %q:\n%s", c.name, out)
+		}
+	}
+	if !strings.Contains(out, "help") {
+		t.Errorf("usage missing help command:\n%s", out)
+	}
+}
+
+// TestHelpReflectsFlagSet checks per-command help is generated from the
+// real flag set: every registered flag name and usage string appears.
+func TestHelpReflectsFlagSet(t *testing.T) {
+	for _, c := range commands() {
+		var b strings.Builder
+		writeHelp(&b, c)
+		out := b.String()
+		if !strings.Contains(out, "loggrep "+c.name) {
+			t.Errorf("%s: help missing usage line:\n%s", c.name, out)
+		}
+		c.fs.VisitAll(func(f *flag.Flag) {
+			if !strings.Contains(out, "-"+f.Name) {
+				t.Errorf("%s: help missing flag -%s:\n%s", c.name, f.Name, out)
+			}
+			if !strings.Contains(out, f.Usage) {
+				t.Errorf("%s: help missing usage text for -%s:\n%s", c.name, f.Name, out)
+			}
+		})
+	}
+}
+
+// TestQueryHelpMentionsTrace pins that query's -trace flag is documented —
+// it must show up because help is built from the flag set itself.
+func TestQueryHelpMentionsTrace(t *testing.T) {
+	q := findCommand(commands(), "query")
+	if q == nil {
+		t.Fatal("no query command")
+	}
+	var b strings.Builder
+	writeHelp(&b, q)
+	out := b.String()
+	for _, want := range []string{"-trace", "-strict", "per-stage span breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query help missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLITraceFlag runs `loggrep query -trace` end to end and checks the
+// per-stage breakdown lands on stderr.
+func TestCLITraceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "a.log")
+	lt, _ := loggen.ByName("A")
+	if err := os.WriteFile(logPath, lt.Block(3, 2000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boxPath := filepath.Join(dir, "a.box")
+	run(t, bin, "compress", "-o", boxPath, logPath)
+	_, stderr := run(t, bin, "query", "-trace", boxPath, "ERROR")
+	for _, want := range []string{"trace query", "filter", "verify"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("trace output missing %q:\n%s", want, stderr)
+		}
+	}
 }
 
 func TestCLIErrors(t *testing.T) {

@@ -9,6 +9,12 @@
 //	curl 'localhost:8080/v1/query?source=prod&q=ERROR%20AND%20state:503'
 //	curl 'localhost:8080/v1/count?source=prod&q=ERROR'
 //	curl -X PUT --data-binary @more.lgrep localhost:8080/v1/sources/more
+//	curl 'localhost:8080/metrics'              # Prometheus text
+//	curl 'localhost:8080/metrics?format=json'  # JSON
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
+// and heap profiling; leave it off in untrusted networks. OPERATIONS.md
+// documents every endpoint and exported metric.
 package main
 
 import (
@@ -31,11 +37,13 @@ func (l *loadFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
 	flag.Parse()
 
 	sv := server.New()
+	sv.Pprof = *pprofOn
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

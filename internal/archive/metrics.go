@@ -1,0 +1,19 @@
+package archive
+
+import "loggrep/internal/obsv"
+
+// Cross-block query metrics, registered in obsv.Default (served by
+// internal/server at /metrics). Every name here is documented in
+// OPERATIONS.md; keep the two in sync.
+var (
+	mArchiveQueries = obsv.Default.Counter("loggrep_archive_queries_total",
+		"Queries executed against multi-block archives")
+	mArchiveQueryNS = obsv.Default.Histogram("loggrep_archive_query_ns", "ns",
+		"Per-query end-to-end latency across all blocks of an archive")
+	mArchiveBlocksSkipped = obsv.Default.Counter("loggrep_archive_blocks_skipped_total",
+		"Blocks eliminated by block-stamp filtering without opening them")
+	mArchiveBlocksSearched = obsv.Default.Counter("loggrep_archive_blocks_searched_total",
+		"Blocks whose stores actually executed a query")
+	mArchiveBlockNS = obsv.Default.Histogram("loggrep_archive_block_query_ns", "ns",
+		"Per-block query latency within archive queries")
+)

@@ -8,8 +8,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loggrep/internal/core"
+	"loggrep/internal/obsv"
 	"loggrep/internal/query"
 	"loggrep/internal/rtpattern"
 )
@@ -31,6 +33,7 @@ type BlockError struct {
 	Err error
 }
 
+// Error describes the damaged region: block, line range, and cause.
 func (e *BlockError) Error() string {
 	if e.NumLines > 0 {
 		return fmt.Sprintf("block %d (lines %d-%d): %v", e.Block, e.FirstLine, e.FirstLine+e.NumLines-1, e.Err)
@@ -38,6 +41,7 @@ func (e *BlockError) Error() string {
 	return fmt.Sprintf("block %d (line %d, extent unknown): %v", e.Block, e.FirstLine, e.Err)
 }
 
+// Unwrap returns the underlying cause for errors.Is/As.
 func (e *BlockError) Unwrap() error { return e.Err }
 
 // block is one opened archive block.
@@ -383,6 +387,22 @@ func mayMatch(e query.Expr, st rtpattern.Stamp) bool {
 // query: their line ranges are reported in Result.Damaged and every other
 // block's matches are returned. Only an unparsable command is an error.
 func (a *Archive) Query(command string, workers int) (*Result, error) {
+	return a.queryTraced(command, workers, nil)
+}
+
+// QueryTraced runs a command like Query and additionally records a trace:
+// one span per searched block (attrs: block ordinal, matches, payloads
+// decompressed) plus trace-level totals for blocks searched, skipped by
+// block stamps, and damaged. Block spans are appended as blocks finish, so
+// their order varies across runs; counter totals are deterministic.
+func (a *Archive) QueryTraced(command string, workers int) (*Result, *obsv.Trace, error) {
+	tr := obsv.NewTrace("archive-query")
+	res, err := a.queryTraced(command, workers, tr)
+	return res, tr, err
+}
+
+func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Result, error) {
+	t0 := time.Now()
 	expr, err := query.Parse(command)
 	if err != nil {
 		return nil, err
@@ -390,6 +410,8 @@ func (a *Archive) Query(command string, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	mArchiveQueries.Inc()
+	var skipped, searched atomic.Int64
 	type blockRes struct {
 		idx int
 		res *core.Result
@@ -408,14 +430,29 @@ func (a *Archive) Query(command string, workers int) (*Result, error) {
 				b := a.blocks[idx]
 				if !mayMatch(expr, b.meta.stamp) {
 					a.blocksSkipped.Add(1)
+					mArchiveBlocksSkipped.Inc()
+					skipped.Add(1)
 					continue
 				}
+				searched.Add(1)
+				mArchiveBlocksSearched.Inc()
+				span := tr.StartSpan("block").Attr("block", int64(idx))
+				tb := time.Now()
 				st, err := b.openStore()
 				if err != nil {
+					span.Attr("damaged", 1).End()
 					out <- blockRes{idx: idx, err: err}
 					continue
 				}
 				res, err := st.Query(command)
+				mArchiveBlockNS.Observe(time.Since(tb).Nanoseconds())
+				if err == nil {
+					span.Attr("matches", int64(len(res.Lines))).
+						Attr("decompressions", int64(res.Decompressions))
+				} else {
+					span.Attr("damaged", 1)
+				}
+				span.End()
 				out <- blockRes{idx: idx, res: res, err: err}
 			}
 		}()
@@ -448,6 +485,12 @@ func (a *Archive) Query(command string, workers int) (*Result, error) {
 		}
 	}
 	sort.SliceStable(res.Damaged, func(i, j int) bool { return res.Damaged[i].FirstLine < res.Damaged[j].FirstLine })
+	tr.Attr("blocks", int64(len(a.blocks)))
+	tr.Attr("blocks_searched", searched.Load())
+	tr.Attr("blocks_skipped", skipped.Load())
+	tr.Attr("damaged_regions", int64(len(res.Damaged)))
+	tr.Attr("matches", int64(len(res.Lines)))
+	mArchiveQueryNS.Observe(time.Since(t0).Nanoseconds())
 	return res, nil
 }
 

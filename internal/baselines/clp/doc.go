@@ -1,0 +1,13 @@
+// Package clp is a CLP-style baseline (Rodrigues et al., OSDI'21), the
+// state of the art the paper compares against (§2.1).
+//
+// Like CLP, it parses entries into log types (templates) and variables,
+// stores encoded entries in their original order inside fixed-size
+// segments, dictionary-encodes variables that contain letters, compresses
+// each segment with a fast second-stage compressor (stdlib DEFLATE,
+// standing in for zstd), and builds inverted indexes from log types and
+// dictionary values to segments. A query uses the indexes to filter
+// segments, then decompresses and scans the survivors. The filtering
+// granularity — whole segments of entries — is exactly what LogGrep's
+// Capsules refine.
+package clp

@@ -1,11 +1,3 @@
-// Package eslite is an ElasticSearch-style baseline: a full inverted index
-// (term → posting list of line ids) over tokenized entries plus the stored
-// source documents in compressed segments.
-//
-// It models ES's defining trade-off from the paper (§6): query latency is
-// low because the index answers most of the work, but the index plus stored
-// fields make the "compressed" size large — often worse than the raw data
-// — and building the index makes ingestion slow.
 package eslite
 
 import (

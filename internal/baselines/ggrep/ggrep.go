@@ -1,10 +1,3 @@
-// Package ggrep is the gzip+grep baseline — the method Alibaba Cloud used
-// for near-line logs before LogGrep (§6): compress the whole block with
-// gzip; to query, decompress everything and scan line by line.
-//
-// It uses the stdlib DEFLATE implementation at maximum compression and the
-// same query language and exact phrase semantics as LogGrep, so results are
-// directly comparable.
 package ggrep
 
 import (

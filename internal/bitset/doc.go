@@ -1,0 +1,8 @@
+// Package bitset provides dense row bitmaps used to represent sets of
+// matching log-entry rows during query evaluation.
+//
+// LogGrep's keyword matching produces, per group, a set of row numbers that
+// satisfy each capsule constraint. Possible matches intersect those sets and
+// the union across possible matches forms a search string's result (§5.1 of
+// the paper). Bitsets make those And/Or/AndNot combinations cheap.
+package bitset

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"loggrep/internal/capsule"
 	"loggrep/internal/logparse"
 	"loggrep/internal/rtpattern"
@@ -14,8 +16,13 @@ import (
 // nominal ones); the Assembler decomposes vectors into Capsules and stamps
 // them; the Packer pads each Capsule's values to the Capsule's maximal
 // length and LZMA-compresses every Capsule independently.
+//
+// Each stage's duration and the block's sizes are recorded into
+// obsv.Default (loggrep_compress_* metrics; see OPERATIONS.md).
 func Compress(block []byte, opts Options) []byte {
+	t0 := time.Now()
 	parsed := logparse.Parse(block, opts.Parse)
+	tParsed := time.Now()
 	b := &builder{opts: opts}
 
 	meta := &capsule.Meta{
@@ -34,6 +41,7 @@ func Compress(block []byte, opts Options) []byte {
 	}
 
 	for _, g := range parsed.Groups {
+		tGroup := time.Now()
 		gm := capsule.GroupMeta{Lines: g.Lines}
 		for _, e := range g.Template.Elems {
 			gm.Template = append(gm.Template, capsule.TemplateElem{Lit: e.Lit, Var: e.Var})
@@ -42,12 +50,25 @@ func Compress(block []byte, opts Options) []byte {
 			gm.Vars = append(gm.Vars, b.buildVar(values, opts))
 		}
 		meta.Groups = append(meta.Groups, gm)
+		mCompressPatternNS.Observe(time.Since(tGroup).Nanoseconds())
 	}
 	if len(parsed.Outliers) > 0 {
 		meta.OutlierCapID = b.addVarCap(capsule.Outlier, parsed.Outliers)
 	}
 	meta.Capsules = b.infos
-	return capsule.WriteBox(meta, b.payloads, opts.ChunkBytes)
+	tAssembled := time.Now()
+	out := capsule.WriteBox(meta, b.payloads, opts.ChunkBytes)
+
+	mCompressBlocks.Inc()
+	mCompressRawBytes.Add(int64(len(block)))
+	mCompressBoxBytes.Add(int64(len(out)))
+	mCompressGroups.Observe(int64(len(parsed.Groups)))
+	mCompressParseNS.Observe(tParsed.Sub(t0).Nanoseconds())
+	mCompressExtractNS.Observe(b.extractNS)
+	// Assembly is the builder's time net of the extraction calls it made.
+	mCompressAssembleNS.Observe(tAssembled.Sub(tParsed).Nanoseconds() - b.extractNS)
+	mCompressPackNS.Observe(time.Since(tAssembled).Nanoseconds())
+	return out
 }
 
 // builder accumulates the capsule directory and payloads.
@@ -55,6 +76,17 @@ type builder struct {
 	opts     Options
 	infos    []capsule.Info
 	payloads [][]byte
+	// extractNS accumulates time spent inside rtpattern extraction calls,
+	// separating the Extractor stage from the Assembler stage it is
+	// interleaved with.
+	extractNS int64
+}
+
+// timeExtract runs fn attributing its duration to the Extractor stage.
+func (b *builder) timeExtract(fn func()) {
+	t0 := time.Now()
+	fn()
+	b.extractNS += time.Since(t0).Nanoseconds()
 }
 
 // addFixedCap appends a padded fixed-width capsule (or a variable-length
@@ -92,7 +124,9 @@ func (b *builder) buildVar(values []string, opts Options) capsule.VarMeta {
 	if opts.StaticOnly {
 		return b.buildWhole(values)
 	}
-	switch rtpattern.Categorize(values, opts.Extract) {
+	var cat rtpattern.Category
+	b.timeExtract(func() { cat = rtpattern.Categorize(values, opts.Extract) })
+	switch cat {
 	case rtpattern.Real:
 		if opts.DisableReal {
 			return b.buildWhole(values)
@@ -124,7 +158,8 @@ func (b *builder) buildWhole(values []string) capsule.VarMeta {
 // buildReal runs tree-expanding extraction and encodes sub-variable
 // capsules plus an optional outlier capsule (Figure 4).
 func (b *builder) buildReal(values []string, opts Options) capsule.VarMeta {
-	res := rtpattern.ExtractReal(values, opts.Extract)
+	var res *rtpattern.RealResult
+	b.timeExtract(func() { res = rtpattern.ExtractReal(values, opts.Extract) })
 	vm := capsule.VarMeta{
 		Kind:     capsule.RealVar,
 		NumSubs:  res.Pattern.NumSubs,
@@ -152,7 +187,8 @@ func (b *builder) buildReal(values []string, opts Options) capsule.VarMeta {
 // buildNominal runs pattern merging and encodes the dictionary and index
 // capsules (Figure 5).
 func (b *builder) buildNominal(values []string) capsule.VarMeta {
-	res := rtpattern.ExtractNominal(values)
+	var res *rtpattern.NominalResult
+	b.timeExtract(func() { res = rtpattern.ExtractNominal(values) })
 	vm := capsule.VarMeta{
 		Kind:       capsule.NominalVar,
 		IndexWidth: res.IndexWidth,

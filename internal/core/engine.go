@@ -28,10 +28,13 @@ type seqElem struct {
 }
 
 // engine carries the cross-cutting matcher state: whether stamps filter,
-// and a counter of scans the stamps pruned (for Explain).
+// plus counters of stamp decisions (for Explain and query traces).
 type engine struct {
 	stamps bool
-	pruned int
+	// pruned counts Capsule scans the stamps eliminated; admitted counts
+	// stamp checks that let a scan proceed.
+	pruned   int
+	admitted int
 }
 
 // admits applies the Capsule-stamp filter of §5.1 (skipped in the
@@ -49,6 +52,7 @@ func (en *engine) admits(h hole, part string) bool {
 		en.pruned++
 		return false
 	}
+	en.admitted++
 	return true
 }
 
@@ -62,6 +66,7 @@ func (en *engine) admitsExact(h hole, part string) bool {
 		en.pruned++
 		return false
 	}
+	en.admitted++
 	return true
 }
 

@@ -12,6 +12,7 @@ import (
 // searcher abstracts fixed-width and variable-length capsule payloads.
 type searcher interface {
 	Rows() int
+	Bytes() int
 	Value(i int) []byte
 	ScanRows(part string, kind strmatch.Kind, fn func(row int) bool)
 	MatchRow(i int, part string, kind strmatch.Kind) bool
@@ -35,12 +36,15 @@ func (c *capsuleHole) find(part string, kind strmatch.Kind) (*bitset.Set, error)
 	// question along many possible matches; cache scans per store.
 	key := findKey{id: c.id, kind: kind, part: part}
 	if cached, ok := c.st.findCache[key]; ok {
+		c.st.stats.scanCacheHits++
 		return cached.Clone(), nil
 	}
 	sr, err := c.st.searcher(c.id)
 	if err != nil {
 		return nil, err
 	}
+	c.st.stats.scans++
+	c.st.stats.bytesScanned += sr.Bytes()
 	set := bitset.New(c.rows())
 	sr.ScanRows(part, kind, func(row int) bool {
 		set.Set(row)
@@ -179,6 +183,8 @@ func (h *nominalVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, err
 		// Few dictionary hits: one Boyer–Moore pass per index id.
 		for _, di := range dictIdxs {
 			key := capsule.FormatIndex(di, h.vm.IndexWidth)
+			h.st.stats.scans++
+			h.st.stats.bytesScanned += idxSr.Bytes()
 			idxSr.ScanRows(key, strmatch.Exact, func(row int) bool {
 				out.Set(row)
 				return true
@@ -188,6 +194,8 @@ func (h *nominalVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, err
 	}
 	// Many hits: one membership pass over the index capsule beats
 	// len(dictIdxs) separate scans.
+	h.st.stats.scans++
+	h.st.stats.bytesScanned += idxSr.Bytes()
 	dictRows := h.st.box.Meta.Capsules[h.vm.DictCapID].Rows
 	member := bitset.FromRows(dictRows, dictIdxs)
 	for row := 0; row < idxSr.Rows(); row++ {
@@ -230,6 +238,8 @@ func (h *nominalVarHole) findDict(part string, kind strmatch.Kind) ([]int, error
 			}
 			if h.feasible(dp, part, kind) {
 				fw := strmatch.NewFixedWidth(payload[off:off+segLen], w)
+				h.st.stats.scans++
+				h.st.stats.bytesScanned += segLen
 				b := base
 				fw.ScanRows(part, kind, func(row int) bool {
 					dictIdxs = append(dictIdxs, b+row)
@@ -247,6 +257,8 @@ func (h *nominalVarHole) findDict(part string, kind strmatch.Kind) ([]int, error
 	if err != nil {
 		return nil, err
 	}
+	h.st.stats.scans++
+	h.st.stats.bytesScanned += sr.Bytes()
 	sr.ScanRows(part, kind, func(row int) bool {
 		dictIdxs = append(dictIdxs, row)
 		return true

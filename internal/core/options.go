@@ -1,8 +1,3 @@
-// Package core implements the LogGrep engine: the compression pipeline
-// (Parser → Extractor → Assembler → Packer, §3–§4 of the paper), the query
-// engine (Locator with runtime-pattern matching and Capsule-stamp
-// filtering, fixed-length matching, §5), the Reconstructor, and the Query
-// Cache.
 package core
 
 import (

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"loggrep/internal/bitset"
 	"loggrep/internal/capsule"
+	"loggrep/internal/obsv"
 	"loggrep/internal/query"
 	"loggrep/internal/strmatch"
 )
@@ -30,6 +32,19 @@ type Store struct {
 	findCache      map[findKey]*bitset.Set
 	qcache         map[string]*Result
 	size           int
+	stats          scanStats
+}
+
+// scanStats counts the scan-level work a store performed; queries snapshot
+// it before/after to fill their traces.
+type scanStats struct {
+	// scans counts Capsule payload scans actually executed; scanCacheHits
+	// counts scans answered from findCache.
+	scans         int
+	scanCacheHits int
+	// bytesScanned sums the decompressed payload bytes those scans
+	// examined.
+	bytesScanned int
 }
 
 // findKey keys the per-store cache of capsule scan results.
@@ -307,20 +322,67 @@ func (st *Store) ClearCache() { st.qcache = make(map[string]*Result) }
 // surviving candidate lines and evaluates the exact expression on their
 // text, so results are precisely what grep on the raw block would return.
 func (st *Store) Query(command string) (*Result, error) {
+	return st.queryTraced(command, nil)
+}
+
+// QueryTraced executes a command like Query and additionally records a
+// per-stage trace: one span per phase (parse, filter, verify) carrying the
+// stamp admissions and skips, capsule scans and scan-cache hits, payloads
+// decompressed, bytes scanned, candidate and match counts. The counter
+// attributes are deterministic for a given store and command; span
+// durations are wall-clock.
+func (st *Store) QueryTraced(command string) (*Result, *obsv.Trace, error) {
+	tr := obsv.NewTrace("query")
+	res, err := st.queryTraced(command, tr)
+	return res, tr, err
+}
+
+func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
+	t0 := time.Now()
+	mQueries.Inc()
+	tr.Attr("lines", int64(st.NumLines()))
 	if st.cacheOn {
 		if r, ok := st.qcache[command]; ok {
+			mQueryCacheHits.Inc()
+			mQueryNS.Observe(time.Since(t0).Nanoseconds())
+			mQueryMatches.Observe(int64(len(r.Lines)))
+			tr.Attr("cache_hit", 1)
+			tr.Attr("matches", int64(len(r.Lines)))
 			return &Result{Lines: r.Lines, Entries: r.Entries}, nil
 		}
 	}
+	tr.Attr("cache_hit", 0)
+
+	parseSpan := tr.StartSpan("parse")
 	expr, err := query.Parse(command)
+	parseSpan.End()
 	if err != nil {
 		return nil, err
 	}
+
 	d0 := st.box.Decompressions
+	pruned0, admitted0 := st.en.pruned, st.en.admitted
+	stats0 := st.stats
+	filterSpan := tr.StartSpan("filter")
 	cand, err := st.overApprox(expr)
 	if err != nil {
 		return nil, err
 	}
+	filterSpan.Attr("candidates", int64(cand.Count())).
+		Attr("stamp_admits", int64(st.en.admitted-admitted0)).
+		Attr("stamp_skips", int64(st.en.pruned-pruned0)).
+		Attr("capsule_scans", int64(st.stats.scans-stats0.scans)).
+		Attr("scan_cache_hits", int64(st.stats.scanCacheHits-stats0.scanCacheHits)).
+		Attr("bytes_scanned", int64(st.stats.bytesScanned-stats0.bytesScanned)).
+		Attr("decompressions", int64(st.box.Decompressions-d0)).
+		End()
+	mQueryStampSkips.Add(int64(st.en.pruned - pruned0))
+	mQueryScans.Add(int64(st.stats.scans - stats0.scans))
+	mQueryScanCacheHits.Add(int64(st.stats.scanCacheHits - stats0.scanCacheHits))
+	mQueryBytesScanned.Add(int64(st.stats.bytesScanned - stats0.bytesScanned))
+
+	dFilter := st.box.Decompressions
+	verifySpan := tr.StartSpan("verify")
 	res := &Result{}
 	var verr error
 	cand.ForEach(func(line int) bool {
@@ -338,7 +400,16 @@ func (st *Store) Query(command string) (*Result, error) {
 	if verr != nil {
 		return nil, verr
 	}
+	verifySpan.Attr("candidates_checked", int64(cand.Count())).
+		Attr("matches", int64(len(res.Lines))).
+		Attr("decompressions", int64(st.box.Decompressions-dFilter)).
+		End()
+
 	res.Decompressions = st.box.Decompressions - d0
+	mQueryDecompressions.Add(int64(res.Decompressions))
+	mQueryNS.Observe(time.Since(t0).Nanoseconds())
+	mQueryMatches.Observe(int64(len(res.Lines)))
+	tr.Attr("matches", int64(len(res.Lines)))
 	if st.cacheOn {
 		st.qcache[command] = res
 	}

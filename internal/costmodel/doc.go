@@ -1,0 +1,9 @@
+// Package costmodel implements Equation 1 of the paper: the overall cost of
+// a near-line log storage system over its retention period, combining
+// storage cost for the compressed data, computation cost to compress, and
+// computation cost to execute queries.
+//
+//	C_total = C_storage × Duration × Size/CompressionRatio
+//	        + C_cpu × Size/CompressionSpeed
+//	        + C_cpu × QueryLatency × QueryFrequency
+package costmodel

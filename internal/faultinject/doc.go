@@ -1,0 +1,6 @@
+// Package faultinject provides deterministic byte-level corruptors for
+// testing how readers behave on damaged storage. Each Corruptor is a pure
+// function from a pristine buffer to a damaged copy, so a test sweep can
+// name, replay and bisect every fault it injects — no randomness, no
+// shared state.
+package faultinject

@@ -1,9 +1,3 @@
-// Package harness orchestrates the paper's evaluation: it runs every
-// system (gzip+grep, CLP-lite, ES-lite, LogGrep-SP, LogGrep and the §6.3
-// ablations) over the synthetic workloads and produces the rows behind
-// every table and figure in §6 (Figures 3, 7, 8, 9, Table 1, the §2.2
-// motivating statistics, the §6.3 padding study and the ES cost
-// crossover).
 package harness
 
 import (

@@ -1,0 +1,13 @@
+// Package loggen generates the synthetic workloads for the evaluation
+// harness: 21 production-like log types (A–U, standing in for the
+// proprietary Alibaba Cloud logs) and 16 public-like log types (standing in
+// for the Loghub datasets), each with a Table-1-style query.
+//
+// The generators reproduce the characteristics the paper says matter for
+// LogGrep: per-template variable vectors whose values share runtime
+// patterns (fixed prefixes like "blk_<*>", ranged timestamps, common-root
+// paths, same-subnet IPs) and nominal enum variables (states, error codes)
+// with few unique values. Each generator plants rare "needle" lines that
+// its query matches, so query latency measurements exercise the full
+// locate-filter-reconstruct path.
+package loggen

@@ -1,0 +1,19 @@
+// Package logparse structurizes raw log blocks with static patterns.
+//
+// It plays the role of the LogReducer-derived Parser in the paper (§3):
+// sample a subset of the block's entries, mine static patterns (templates),
+// then parse every entry into variable vectors grouped per template. Values
+// of one variable across all entries of a group form a variable vector — the
+// partition unit that later stages decompose with runtime patterns.
+//
+// Template mining is two-level. Level 1 groups lines by signature — the
+// exact delimiter layout between tokens. Level 2 splits a signature by its
+// digit-free tokens (likely static text, the CLP heuristic); digit-bearing
+// tokens are always variables. When one signature accumulates more level-2
+// variants than a budget, they are merged and a token position stays static
+// only if the whole sample agrees on a single digit-free value there.
+// Signatures or variants first seen after sampling get templates mined from
+// the first such line, so pattern-mining accuracy affects only compression
+// and query efficiency, never correctness — the same guarantee the paper
+// makes for its parser (§4.1).
+package logparse

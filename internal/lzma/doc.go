@@ -1,0 +1,10 @@
+// Package lzma implements an LZMA-style compressor: LZ77 with a hash-chain
+// match finder, coded by an adaptive binary range coder with context models.
+//
+// The paper packs Capsules with LZMA (7-zip) for its high compression ratio.
+// The Go standard library has no LZMA, so this package provides the same
+// algorithmic family from scratch — LZ factorization plus context-modelled
+// arithmetic coding — preserving the high-ratio / modest-speed trade-off the
+// paper's cost analysis depends on. The format is self-framing ("LZL1"
+// header + raw length) and is only consumed by this repository.
+package lzma

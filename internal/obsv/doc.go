@@ -1,0 +1,31 @@
+// Package obsv is LogGrep's dependency-free observability layer: atomic
+// counters, exponential-bucket histograms with quantile estimates, a
+// process-wide metric registry exportable as JSON and Prometheus text, and
+// a lightweight span/trace recorder for per-query breakdowns.
+//
+// The paper's evaluation (§6, Figures 6–9) is built on per-stage numbers —
+// parsing vs. extraction vs. packing cost on the write path, locate vs.
+// scan vs. verify time on the read path — and this package is how the
+// running system exposes the same numbers operationally instead of only
+// through offline benchmarks:
+//
+//   - The compression pipeline records per-stage durations and sizes
+//     (Parser → Extractor → Assembler → Packer, §3) into the Default
+//     registry.
+//   - The query engine records a per-query Trace: one Span per phase
+//     (parse, filter, verify) carrying deterministic counters such as
+//     stamp admissions and skips (§5.1), capsule scans, cache hits,
+//     decompressions and bytes scanned.
+//   - internal/server serves the Default registry at /metrics and wraps
+//     every endpoint in request counters and latency histograms.
+//
+// Everything here is safe for concurrent use. Counters and histogram
+// observations are single atomic operations; histogram quantiles are
+// estimates read without locking writers (accurate to the histogram's
+// factor-of-two bucket resolution, interpolated within a bucket).
+//
+// Traces are deliberately split into a deterministic part (span names,
+// order, and counter attributes — see Trace.Outline, which golden tests
+// assert byte-for-byte) and a timing part (span durations, rendered by
+// Trace.String and exported by Trace.Data).
+package obsv

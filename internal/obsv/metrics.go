@@ -1,0 +1,379 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// reset zeroes the counter (registry Reset only; not part of the public
+// metric contract, which is monotonic).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// numBuckets covers every int64: bucket 0 holds values <= 0, bucket i
+// (1 <= i <= 63) holds values v with 2^(i-1) <= v < 2^i.
+const numBuckets = 64
+
+// Histogram records a distribution of int64 values (latencies in
+// nanoseconds, sizes in bytes) in exponential base-2 buckets. Observations
+// are lock-free atomic adds; quantiles are estimated from the buckets,
+// interpolating linearly within the containing bucket, so they are accurate
+// to the bucket's factor-of-two resolution. The zero value is NOT ready:
+// use NewHistogram (or Registry.Histogram).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..63 for v >= 1
+}
+
+// bucketBounds returns the value range [lo, hi] bucket i covers.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the buckets: it
+// walks to the bucket holding the q-ranked observation and interpolates
+// linearly inside it. Concurrent observations may skew the estimate by the
+// in-flight updates, never more.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	seen := int64(0)
+	for i := 0; i < numBuckets; i++ {
+		bc := h.buckets[i].Load()
+		if bc == 0 {
+			continue
+		}
+		if float64(seen+bc) > rank {
+			lo, hi := bucketBounds(i)
+			// Clamp to the observed extremes so single-bucket
+			// distributions report sensible values.
+			if mn := h.min.Load(); mn > lo {
+				lo = mn
+			}
+			if mx := h.max.Load(); mx < hi {
+				hi = mx
+			}
+			if hi <= lo {
+				return lo
+			}
+			frac := (rank - float64(seen)) / float64(bc)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += bc
+	}
+	return h.Max()
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is the JSON shape of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Snapshot captures the histogram's current summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// metric is one registered metric: exactly one of c/h is set.
+type metric struct {
+	name string // full name, possibly with a {label="value"} suffix
+	help string
+	unit string
+	c    *Counter
+	h    *Histogram
+}
+
+// family splits the metric name into its Prometheus family name and label
+// part: `a_total{endpoint="query"}` -> (`a_total`, `endpoint="query"`).
+func (m *metric) family() (string, string) {
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		return m.name[:i], strings.TrimSuffix(m.name[i+1:], "}")
+	}
+	return m.name, ""
+}
+
+// Registry holds named metrics. Metric names follow Prometheus
+// conventions (snake_case, unit-suffixed, `_total` for counters) and may
+// carry a constant label set in braces, e.g.
+// `loggrep_http_requests_total{endpoint="query"}`.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry every LogGrep subsystem records
+// into; internal/server serves it at /metrics.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it (with the
+// given help text) on first use. Re-registration with a different help
+// string keeps the first.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.c != nil {
+		return m.c
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, c: c}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. unit names the observed value's unit ("ns", "bytes", "1") and
+// is reported in exports.
+func (r *Registry) Histogram(name, unit, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.h != nil {
+		return m.h
+	}
+	h := NewHistogram()
+	r.metrics[name] = &metric{name: name, help: help, unit: unit, h: h}
+	return h
+}
+
+// sorted returns the registered metrics in name order.
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	ms := r.sorted()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.name
+	}
+	return names
+}
+
+// Reset zeroes every registered metric (tests and benchmark harnesses).
+func (r *Registry) Reset() {
+	for _, m := range r.sorted() {
+		if m.c != nil {
+			m.c.reset()
+		} else {
+			m.h.reset()
+		}
+	}
+}
+
+// WriteJSON writes the registry as one JSON object: counters as numbers,
+// histograms as HistogramSnapshot objects, keys sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		if m.c != nil {
+			out[m.name] = m.c.Value()
+			continue
+		}
+		s := m.h.Snapshot()
+		s.Unit = m.unit
+		out[m.name] = s
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format:
+// counters as `counter` families, histograms as `summary` families with
+// p50/p95/p99 quantile series plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	lastFam := ""
+	for _, m := range r.sorted() {
+		fam, labels := m.family()
+		if fam != lastFam {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			if m.h != nil {
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+			lastFam = fam
+		}
+		if m.c != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, q := range []struct {
+			q string
+			v int64
+		}{
+			{"0.5", m.h.Quantile(0.50)},
+			{"0.95", m.h.Quantile(0.95)},
+			{"0.99", m.h.Quantile(0.99)},
+		} {
+			series := fam + "{" + labels
+			if labels != "" {
+				series += ","
+			}
+			series += `quantile="` + q.q + `"}`
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, q.v); err != nil {
+				return err
+			}
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			fam, suffix, m.h.Sum(), fam, suffix, m.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package query implements LogGrep's grep-like query language (§3, §5):
+// search strings joined by AND / OR / NOT, with '*' wildcards that match
+// within a single token (never across delimiters or line breaks).
+//
+// A search string is tokenized into keywords with the same delimiters the
+// parser uses, so each keyword can be matched against static patterns,
+// runtime patterns, and Capsules independently; exact phrase semantics are
+// restored by verifying candidate entries with the wildcard-aware matcher.
+package query

@@ -1,11 +1,3 @@
-// Package query implements LogGrep's grep-like query language (§3, §5):
-// search strings joined by AND / OR / NOT, with '*' wildcards that match
-// within a single token (never across delimiters or line breaks).
-//
-// A search string is tokenized into keywords with the same delimiters the
-// parser uses, so each keyword can be matched against static patterns,
-// runtime patterns, and Capsules independently; exact phrase semantics are
-// restored by verifying candidate entries with the wildcard-aware matcher.
 package query
 
 import (
@@ -43,9 +35,17 @@ type Search struct {
 	Fragments []string
 }
 
+// String renders the expression fully parenthesized.
 func (a *And) String() string { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
-func (o *Or) String() string  { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+
+// String renders the expression fully parenthesized.
+func (o *Or) String() string { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+
+// String renders the expression fully parenthesized.
 func (n *Not) String() string { return "(NOT " + n.X.String() + ")" }
+
+// String renders the phrase, quoting it when spacing or an operator word
+// would make the bare text re-parse differently.
 func (s *Search) String() string {
 	up := strings.ToUpper(s.Raw)
 	if strings.ContainsAny(s.Raw, " \t()") || up == "AND" || up == "OR" || up == "NOT" {

@@ -1,16 +1,3 @@
-// Package rtpattern extracts runtime patterns within variable vectors —
-// the core contribution of the LogGrep paper (§4).
-//
-// A runtime pattern is structure the application produced at run time
-// rather than structure written in a format string: "blk_<*>",
-// "/root/usr/admin/<*>", "11.187.<*>.<*>". The extractor categorizes each
-// variable vector by its duplication rate (§4.1): vectors below the
-// threshold ("real" vectors, e.g. request ids) are assumed to follow a
-// single pattern and are mined with an O(n) tree-expanding algorithm;
-// vectors at or above it ("nominal" vectors, e.g. error codes) may have
-// several patterns over few unique values and are mined with an
-// O(n log n) pattern-merging algorithm that produces a dictionary vector
-// plus an index vector.
 package rtpattern
 
 import "strings"

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"loggrep/internal/obsv"
+)
+
+// instrument wraps a handler with a per-endpoint request counter and latency
+// histogram, registered in obsv.Default as
+// loggrep_http_requests_total{endpoint="..."} and
+// loggrep_http_request_ns{endpoint="..."}. Every endpoint label is
+// documented in OPERATIONS.md; keep the two in sync.
+func instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	reqs := obsv.Default.Counter(
+		fmt.Sprintf(`loggrep_http_requests_total{endpoint=%q}`, endpoint),
+		"HTTP requests served, by endpoint")
+	lat := obsv.Default.Histogram(
+		fmt.Sprintf(`loggrep_http_request_ns{endpoint=%q}`, endpoint), "ns",
+		"HTTP request latency, by endpoint")
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		fn(w, r)
+		reqs.Inc()
+		lat.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// handleMetrics serves obsv.Default: Prometheus text exposition by default,
+// one JSON object with ?format=json.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		obsv.Default.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obsv.Default.WriteProm(w)
+}

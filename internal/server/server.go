@@ -1,22 +1,3 @@
-// Package server exposes LogGrep queries over HTTP — the shape of the
-// paper's production deployment, where engineers send full-text query
-// commands to a log storage service during the first debugging phase (§2)
-// and the second phase consumes the results programmatically.
-//
-// Endpoints (JSON):
-//
-//	GET    /healthz                          liveness
-//	GET    /v1/sources                       list loaded sources
-//	PUT    /v1/sources/{name}                load a .lgrep body (box or archive)
-//	DELETE /v1/sources/{name}                unload
-//	GET    /v1/query?source=S&q=CMD          matching lines + entries
-//	GET    /v1/count?source=S&q=CMD          match count only
-//	GET    /v1/entry?source=S&line=N         one reconstructed entry
-//
-// Archives with damaged blocks still answer: /v1/query reports the
-// damaged line ranges in the response's "damaged" field alongside the
-// matches from healthy blocks. Adding &strict=1 turns any damage into an
-// error response instead.
 package server
 
 import (
@@ -24,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,6 +14,7 @@ import (
 
 	"loggrep/internal/archive"
 	"loggrep/internal/core"
+	"loggrep/internal/obsv"
 )
 
 // MaxUploadBytes bounds PUT bodies.
@@ -53,21 +36,39 @@ func (s *source) numLines() int {
 	return s.box.NumLines()
 }
 
-func (s *source) query(cmd string) ([]int, []string, []archive.BlockError, error) {
+func (s *source) query(cmd string, traced bool) ([]int, []string, []archive.BlockError, *obsv.Trace, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.arch != nil {
-		res, err := s.arch.Query(cmd, 0)
-		if err != nil {
-			return nil, nil, nil, err
+		var (
+			res *archive.Result
+			tr  *obsv.Trace
+			err error
+		)
+		if traced {
+			res, tr, err = s.arch.QueryTraced(cmd, 0)
+		} else {
+			res, err = s.arch.Query(cmd, 0)
 		}
-		return res.Lines, res.Entries, res.Damaged, nil
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return res.Lines, res.Entries, res.Damaged, tr, nil
 	}
-	res, err := s.box.Query(cmd)
+	var (
+		res *core.Result
+		tr  *obsv.Trace
+		err error
+	)
+	if traced {
+		res, tr, err = s.box.QueryTraced(cmd)
+	} else {
+		res, err = s.box.Query(cmd)
+	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return res.Lines, res.Entries, nil, nil
+	return res.Lines, res.Entries, nil, tr, nil
 }
 
 func (s *source) count(cmd string) (matches, damaged int, err error) {
@@ -95,13 +96,19 @@ func (s *source) entry(line int) (string, error) {
 
 // Server is the HTTP handler set.
 type Server struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set before
+	// Handler is called. Off by default: the profiling endpoints expose
+	// internals and should be opt-in (loggrepd -pprof).
+	Pprof bool
+
 	mu      sync.RWMutex
 	sources map[string]*source
+	start   time.Time
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{sources: make(map[string]*source)}
+	return &Server{sources: make(map[string]*source), start: time.Now()}
 }
 
 // Load registers compressed data under a name (box or archive,
@@ -130,18 +137,36 @@ func (sv *Server) Load(name string, data []byte) error {
 	return nil
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler. Every endpoint is wrapped with
+// per-endpoint request/latency metrics (see instrument).
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("/v1/sources", sv.handleSources)
-	mux.HandleFunc("/v1/sources/", sv.handleSource)
-	mux.HandleFunc("/v1/query", sv.handleQuery)
-	mux.HandleFunc("/v1/count", sv.handleCount)
-	mux.HandleFunc("/v1/entry", sv.handleEntry)
+	mux.HandleFunc("/healthz", instrument("healthz", sv.handleHealthz))
+	mux.HandleFunc("/metrics", instrument("metrics", handleMetrics))
+	mux.HandleFunc("/v1/sources", instrument("sources", sv.handleSources))
+	mux.HandleFunc("/v1/sources/", instrument("source", sv.handleSource))
+	mux.HandleFunc("/v1/query", instrument("query", sv.handleQuery))
+	mux.HandleFunc("/v1/count", instrument("count", sv.handleCount))
+	mux.HandleFunc("/v1/entry", instrument("entry", sv.handleEntry))
+	if sv.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sv.mu.RLock()
+	n := len(sv.sources)
+	sv.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"sources":        n,
+		"uptime_seconds": int64(time.Since(sv.start).Seconds()),
+	})
 }
 
 type sourceInfo struct {
@@ -229,11 +254,12 @@ func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (*source, strin
 }
 
 type queryResponse struct {
-	Matches   int          `json:"matches"`
-	Lines     []int        `json:"lines"`
-	Entries   []string     `json:"entries"`
-	Damaged   []damageInfo `json:"damaged,omitempty"`
-	ElapsedMS float64      `json:"elapsed_ms"`
+	Matches   int             `json:"matches"`
+	Lines     []int           `json:"lines"`
+	Entries   []string        `json:"entries"`
+	Damaged   []damageInfo    `json:"damaged,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Trace     *obsv.TraceData `json:"trace,omitempty"`
 }
 
 // damageInfo is the JSON shape of one archive.BlockError.
@@ -266,7 +292,8 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	lines, entries, damaged, err := src.query(cmd)
+	traced := r.URL.Query().Get("trace") == "1"
+	lines, entries, damaged, tr, err := src.query(cmd, traced)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -276,13 +303,18 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(damaged)))
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Matches:   len(lines),
 		Lines:     lines,
 		Entries:   entries,
 		Damaged:   damageJSON(damaged),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	if tr != nil {
+		d := tr.Data()
+		resp.Trace = &d
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {

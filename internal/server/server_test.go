@@ -56,10 +56,13 @@ func getJSON(t *testing.T, url string, wantCode int, v any) {
 
 func TestHealthz(t *testing.T) {
 	ts, _ := newTestServer(t)
-	var out map[string]string
+	var out map[string]any
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, &out)
 	if out["status"] != "ok" {
 		t.Fatalf("health = %v", out)
+	}
+	if n, ok := out["sources"].(float64); !ok || n != 2 {
+		t.Fatalf("sources = %v, want 2", out["sources"])
 	}
 }
 

@@ -1,0 +1,5 @@
+// Package strmatch implements the string-search substrate LogGrep relies on:
+// Boyer–Moore (used for fixed-length matching in decompressed Capsules, §5.2
+// of the paper), Knuth–Morris–Pratt (used by the "w/o fixed" ablation), and
+// fixed-width column search that converts byte positions to row numbers.
+package strmatch

@@ -59,6 +59,9 @@ func NewFixedWidth(buf []byte, width int) *FixedWidth {
 // Rows returns the number of values.
 func (fw *FixedWidth) Rows() int { return fw.rows }
 
+// Bytes returns the payload size a full scan examines.
+func (fw *FixedWidth) Bytes() int { return len(fw.buf) }
+
 // Width returns the padded value width.
 func (fw *FixedWidth) Width() int { return fw.width }
 

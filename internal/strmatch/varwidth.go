@@ -35,6 +35,9 @@ func NewVarWidth(buf []byte, rows int) *VarWidth {
 	return vw
 }
 
+// Bytes returns the payload size a full scan examines.
+func (vw *VarWidth) Bytes() int { return len(vw.buf) }
+
 // Rows returns the number of values.
 func (vw *VarWidth) Rows() int { return len(vw.starts) }
 

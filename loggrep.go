@@ -37,6 +37,7 @@ import (
 	"loggrep/internal/archive"
 	"loggrep/internal/core"
 	"loggrep/internal/logparse"
+	"loggrep/internal/obsv"
 	"loggrep/internal/rtpattern"
 )
 
@@ -145,3 +146,17 @@ func OpenArchive(data []byte) (*Archive, error) { return archive.Open(data) }
 // IsArchive reports whether data looks like an archive (any supported
 // format version) rather than a single CapsuleBox.
 func IsArchive(data []byte) bool { return archive.IsArchive(data) }
+
+// Trace records the per-stage spans of one query, returned alongside the
+// result by Store.QueryTraced and Archive.QueryTraced. Its String method
+// renders the breakdown `loggrep query -trace` prints.
+type Trace = obsv.Trace
+
+// TraceData is a Trace's JSON-ready snapshot (Trace.Data).
+type TraceData = obsv.TraceData
+
+// Metrics returns the process-wide metric registry every LogGrep
+// subsystem records into: compression stage timings and sizes, query
+// counters, archive block skips. internal/server serves it at /metrics;
+// embedders can export it with WriteJSON or WriteProm.
+func Metrics() *obsv.Registry { return obsv.Default }

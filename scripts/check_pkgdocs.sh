@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# check_pkgdocs.sh fails the build if any Go package in the repository
+# lacks a package comment. Doc discipline is CI-enforced so godoc stays a
+# complete map of the system (see OPERATIONS.md and DESIGN.md).
+#
+# A package passes if at least one of its .go files has a comment block
+# immediately above its `package` clause. Test-only packages (files ending
+# in _test.go only) are exempt, as is testdata.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    ok=0
+    any=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        any=1
+        # The line directly above the package clause must be a comment.
+        if awk '
+            /^package / { if (prev ~ /^\/\// || prev ~ /^\*\//) found = 1; exit }
+            { prev = $0 }
+            END { exit !found }
+        ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$any" -eq 1 ] && [ "$ok" -eq 0 ]; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+exit "$fail"
