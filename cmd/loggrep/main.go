@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -198,7 +199,7 @@ func newCompressCmd() *command {
 
 // opened abstracts a single box or an archive.
 type opened interface {
-	Query(command string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error)
+	Query(ctx context.Context, command string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error)
 	Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error)
 	Stat() string
 	Verify(deep bool) []loggrep.ArchiveBlockError
@@ -206,16 +207,16 @@ type opened interface {
 
 type boxFile struct{ st *loggrep.Store }
 
-func (b boxFile) Query(cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
+func (b boxFile) Query(ctx context.Context, cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
 	var (
 		res *loggrep.Result
 		tr  *loggrep.Trace
 		err error
 	)
 	if traced {
-		res, tr, err = b.st.QueryTraced(cmd)
+		res, tr, err = b.st.QueryTracedContext(ctx, cmd, nil)
 	} else {
-		res, err = b.st.Query(cmd)
+		res, err = b.st.QueryContext(ctx, cmd, nil)
 	}
 	if err != nil {
 		return nil, nil, 0, nil, nil, err
@@ -248,16 +249,16 @@ type archFile struct {
 	size int
 }
 
-func (a archFile) Query(cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
+func (a archFile) Query(ctx context.Context, cmd string, traced bool) ([]int, []string, int, []loggrep.ArchiveBlockError, *loggrep.Trace, error) {
 	var (
 		res *loggrep.ArchiveResult
 		tr  *loggrep.Trace
 		err error
 	)
 	if traced {
-		res, tr, err = a.a.QueryTraced(cmd, 0)
+		res, tr, err = a.a.QueryTracedContext(ctx, cmd, 0, loggrep.Budget{})
 	} else {
-		res, err = a.a.Query(cmd, 0)
+		res, err = a.a.QueryContext(ctx, cmd, 0, loggrep.Budget{})
 	}
 	if err != nil {
 		return nil, nil, 0, nil, nil, err
@@ -317,6 +318,7 @@ func newQueryCmd() *command {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "fail if any block is damaged instead of returning partial results")
 	trace := fs.Bool("trace", false, "print a per-stage span breakdown to stderr")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	c := &command{
 		name:    "query",
 		args:    "<file.lgrep> <query command>",
@@ -331,7 +333,13 @@ func newQueryCmd() *command {
 		if err != nil {
 			return err
 		}
-		lines, entries, decomp, damaged, tr, err := f.Query(strings.Join(fs.Args()[1:], " "), *trace)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		lines, entries, decomp, damaged, tr, err := f.Query(ctx, strings.Join(fs.Args()[1:], " "), *trace)
 		if err != nil {
 			return err
 		}

@@ -12,18 +12,32 @@
 //	curl 'localhost:8080/metrics'              # Prometheus text
 //	curl 'localhost:8080/metrics?format=json'  # JSON
 //
+// Overload and timeout controls: -max-concurrent bounds simultaneous
+// queries (excess requests queue briefly, then get 429 + Retry-After),
+// -query-timeout sets the default per-query deadline (clients may override
+// per request with ?timeout_ms=, clamped to -max-timeout), and
+// -max-scan-mb / -max-decompressions cap per-query work, degrading
+// runaway queries into partial results. SIGINT/SIGTERM trigger a graceful
+// shutdown: draining stops admission (503, /healthz flips to draining),
+// in-flight queries get half of -shutdown-grace to finish, then are
+// cancelled; a drained server exits 0.
+//
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
 // and heap profiling; leave it off in untrusted networks. OPERATIONS.md
-// documents every endpoint and exported metric.
+// documents every endpoint, flag, and exported metric.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"loggrep/internal/core"
 	"loggrep/internal/server"
 )
 
@@ -38,12 +52,22 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max queries executing at once (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "default per-query deadline (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on per-request ?timeout_ms= overrides (0 = no clamp)")
+	shutdownGrace := flag.Duration("shutdown-grace", 20*time.Second, "grace period for draining in-flight queries on SIGTERM")
+	maxScanMB := flag.Int64("max-scan-mb", 0, "per-query cap on scanned megabytes, exceeding returns partial results (0 = unlimited)")
+	maxDecomp := flag.Int64("max-decompressions", 0, "per-query cap on capsule decompressions, exceeding returns partial results (0 = unlimited)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
 	flag.Parse()
 
 	sv := server.New()
 	sv.Pprof = *pprofOn
+	sv.MaxConcurrent = *maxConcurrent
+	sv.QueryTimeout = *queryTimeout
+	sv.MaxTimeout = *maxTimeout
+	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -58,10 +82,17 @@ func main() {
 		}
 		fmt.Printf("loaded %s from %s (%d bytes)\n", name, path, len(data))
 	}
-	fmt.Printf("loggrepd listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, sv.Handler()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Printf("loggrepd listening on %s\n", ln.Addr())
+	if err := sv.ServeGraceful(ln, sig, *shutdownGrace); err != nil {
+		fatal(err)
+	}
+	fmt.Println("loggrepd: drained, exiting")
 }
 
 func fatal(err error) {

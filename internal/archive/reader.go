@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -65,14 +66,26 @@ func (b *block) fail(err error) *BlockError {
 // openStore lazily opens the block's CapsuleBox, verifying the payload
 // checksum first. Verification happens here — not at Open — so that
 // queries which skip the block via its stamp never pay for it, and the
-// result (store or quarantine error) is latched either way.
-func (b *block) openStore() (*core.Store, error) {
+// result (store or quarantine error) is latched either way. Cancellation
+// and read-hook errors are NOT latched: an interrupted open must not
+// quarantine a healthy block, so the next caller retries from scratch.
+func (b *block) openStore(ctx context.Context, hook core.ReadHook) (*core.Store, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.storeMu.Lock()
 	defer b.storeMu.Unlock()
 	if b.store == nil && b.storeErr == nil {
+		if hook != nil {
+			// The block open is a real read (checksum + metadata decode);
+			// gate it like one, without latching the hook's verdict.
+			if err := hook(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if b.hasCRC && crc32.Checksum(b.box, castagnoli) != b.crc {
 			b.storeErr = b.fail(ErrChecksum)
-		} else if st, err := core.Open(b.box, core.QueryOptions{}); err != nil {
+		} else if st, err := core.Open(b.box, core.QueryOptions{ReadHook: hook}); err != nil {
 			b.storeErr = b.fail(err)
 		} else {
 			b.store = st
@@ -81,7 +94,8 @@ func (b *block) openStore() (*core.Store, error) {
 	return b.store, b.storeErr
 }
 
-// Archive is an opened multi-block archive.
+// Archive is an opened multi-block archive. It is safe for concurrent
+// use: block stores synchronize internally.
 type Archive struct {
 	blocks   []*block
 	damage   []BlockError // line ranges lost to structural damage, by FirstLine
@@ -90,6 +104,33 @@ type Archive struct {
 	// blocksSkipped counts blocks eliminated by block stamps across all
 	// queries (harness statistic). Atomic: queries may run concurrently.
 	blocksSkipped atomic.Int64
+
+	hookMu   sync.Mutex
+	readHook core.ReadHook
+}
+
+// SetReadHook installs (or clears, with nil) a read hook gating every
+// block open and capsule payload fetch — the faultinject seam for latency
+// and stall injection. It applies to already-opened blocks too.
+func (a *Archive) SetReadHook(h core.ReadHook) {
+	a.hookMu.Lock()
+	a.readHook = h
+	a.hookMu.Unlock()
+	for _, b := range a.blocks {
+		b.storeMu.Lock()
+		st := b.store
+		b.storeMu.Unlock()
+		if st != nil {
+			st.SetReadHook(h)
+		}
+	}
+}
+
+// hook returns the current read hook.
+func (a *Archive) hook() core.ReadHook {
+	a.hookMu.Lock()
+	defer a.hookMu.Unlock()
+	return a.readHook
 }
 
 // SkippedBlocks reports how many blocks stamp filtering eliminated
@@ -358,6 +399,14 @@ type Result struct {
 	// Lines/Entries are complete for every range not listed here. Empty on
 	// a healthy archive.
 	Damaged []BlockError
+	// Partial marks a result cut short by an exhausted query budget:
+	// every returned entry is a verified exact match, but blocks past the
+	// cut were not searched (and a mid-block cut may omit later matches
+	// within it). Distinct from Damaged — the data is fine, the query just
+	// ran out of budget.
+	Partial bool
+	// PartialReason says which cap stopped the query.
+	PartialReason string
 }
 
 // mayMatch applies the block stamp: every fragment of every search string
@@ -387,7 +436,16 @@ func mayMatch(e query.Expr, st rtpattern.Stamp) bool {
 // query: their line ranges are reported in Result.Damaged and every other
 // block's matches are returned. Only an unparsable command is an error.
 func (a *Archive) Query(command string, workers int) (*Result, error) {
-	return a.queryTraced(command, workers, nil)
+	return a.queryTraced(context.Background(), command, workers, nil, nil)
+}
+
+// QueryContext runs a command like Query under a context and a work
+// budget. Cancellation or deadline expiry aborts the query and returns the
+// context's error. The budget (zero fields = unlimited) is shared across
+// all blocks; when it runs out the query returns what the searched blocks
+// matched with Result.Partial set — a degraded answer, not an error.
+func (a *Archive) QueryContext(ctx context.Context, command string, workers int, budget core.Budget) (*Result, error) {
+	return a.queryTraced(ctx, command, workers, core.NewBudgetState(budget), nil)
 }
 
 // QueryTraced runs a command like Query and additionally records a trace:
@@ -396,12 +454,17 @@ func (a *Archive) Query(command string, workers int) (*Result, error) {
 // block stamps, and damaged. Block spans are appended as blocks finish, so
 // their order varies across runs; counter totals are deterministic.
 func (a *Archive) QueryTraced(command string, workers int) (*Result, *obsv.Trace, error) {
+	return a.QueryTracedContext(context.Background(), command, workers, core.Budget{})
+}
+
+// QueryTracedContext is QueryContext with a trace, see QueryTraced.
+func (a *Archive) QueryTracedContext(ctx context.Context, command string, workers int, budget core.Budget) (*Result, *obsv.Trace, error) {
 	tr := obsv.NewTrace("archive-query")
-	res, err := a.queryTraced(command, workers, tr)
+	res, err := a.queryTraced(ctx, command, workers, core.NewBudgetState(budget), tr)
 	return res, tr, err
 }
 
-func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Result, error) {
+func (a *Archive) queryTraced(ctx context.Context, command string, workers int, bs *core.BudgetState, tr *obsv.Trace) (*Result, error) {
 	t0 := time.Now()
 	expr, err := query.Parse(command)
 	if err != nil {
@@ -411,6 +474,7 @@ func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Res
 		workers = runtime.GOMAXPROCS(0)
 	}
 	mArchiveQueries.Inc()
+	hook := a.hook()
 	var skipped, searched atomic.Int64
 	type blockRes struct {
 		idx int
@@ -427,6 +491,12 @@ func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Res
 		go func() {
 			defer wg.Done()
 			for idx := range work {
+				// A cancelled or out-of-budget query drains the remaining
+				// work without touching further blocks; the dispatcher
+				// stops feeding, this stops in-flight backlog.
+				if ctx.Err() != nil || bs.Err() != nil {
+					continue
+				}
 				b := a.blocks[idx]
 				if !mayMatch(expr, b.meta.stamp) {
 					a.blocksSkipped.Add(1)
@@ -438,31 +508,54 @@ func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Res
 				mArchiveBlocksSearched.Inc()
 				span := tr.StartSpan("block").Attr("block", int64(idx))
 				tb := time.Now()
-				st, err := b.openStore()
+				st, err := b.openStore(ctx, hook)
 				if err != nil {
+					if core.IsInterrupt(err) {
+						// Not damage: the open was interrupted, the block is
+						// (as far as anyone knows) healthy. ctx.Err() after
+						// the join reports the cancellation; a budget stop
+						// surfaces as Partial.
+						span.Attr("interrupted", 1).End()
+						continue
+					}
 					span.Attr("damaged", 1).End()
 					out <- blockRes{idx: idx, err: err}
 					continue
 				}
-				res, err := st.Query(command)
+				res, err := st.QueryContext(ctx, command, bs)
 				mArchiveBlockNS.Observe(time.Since(tb).Nanoseconds())
-				if err == nil {
+				switch {
+				case err == nil:
 					span.Attr("matches", int64(len(res.Lines))).
 						Attr("decompressions", int64(res.Decompressions))
-				} else {
-					span.Attr("damaged", 1)
+					if res.Partial {
+						span.Attr("partial", 1)
+					}
+					span.End()
+					out <- blockRes{idx: idx, res: res}
+				case core.IsInterrupt(err):
+					span.Attr("interrupted", 1).End()
+				default:
+					span.Attr("damaged", 1).End()
+					out <- blockRes{idx: idx, err: err}
 				}
-				span.End()
-				out <- blockRes{idx: idx, res: res, err: err}
 			}
 		}()
 	}
 	for idx := range a.blocks {
+		if ctx.Err() != nil || bs.Err() != nil {
+			break
+		}
 		work <- idx
 	}
 	close(work)
 	wg.Wait()
 	close(out)
+
+	if err := ctx.Err(); err != nil {
+		mArchiveQueriesCancelled.Inc()
+		return nil, err
+	}
 
 	res := &Result{Damaged: a.Damage()}
 	byBlock := make([]*core.Result, len(a.blocks))
@@ -478,11 +571,24 @@ func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Res
 		if br == nil {
 			continue
 		}
+		if br.Partial {
+			res.Partial = true
+			if res.PartialReason == "" {
+				res.PartialReason = br.PartialReason
+			}
+		}
 		off := a.blocks[idx].lineOff
 		for i, line := range br.Lines {
 			res.Lines = append(res.Lines, off+line)
 			res.Entries = append(res.Entries, br.Entries[i])
 		}
+	}
+	if err := bs.Err(); err != nil {
+		res.Partial = true
+		res.PartialReason = err.Error()
+	}
+	if res.Partial {
+		mArchiveQueryPartial.Inc()
 	}
 	sort.SliceStable(res.Damaged, func(i, j int) bool { return res.Damaged[i].FirstLine < res.Damaged[j].FirstLine })
 	tr.Attr("blocks", int64(len(a.blocks)))
@@ -490,6 +596,9 @@ func (a *Archive) queryTraced(command string, workers int, tr *obsv.Trace) (*Res
 	tr.Attr("blocks_skipped", skipped.Load())
 	tr.Attr("damaged_regions", int64(len(res.Damaged)))
 	tr.Attr("matches", int64(len(res.Lines)))
+	if res.Partial {
+		tr.Attr("partial", 1)
+	}
 	mArchiveQueryNS.Observe(time.Since(t0).Nanoseconds())
 	return res, nil
 }
@@ -511,7 +620,7 @@ func (a *Archive) Entry(line int) (string, error) {
 	}
 	for _, b := range a.blocks {
 		if line >= b.lineOff && line < b.lineOff+b.meta.numLines {
-			st, err := b.openStore()
+			st, err := b.openStore(context.Background(), a.hook())
 			if err != nil {
 				return "", err
 			}
@@ -537,7 +646,7 @@ func (a *Archive) ReconstructAll() ([]string, error) {
 	}
 	out := make([]string, 0, a.numLines)
 	for _, b := range a.blocks {
-		st, err := b.openStore()
+		st, err := b.openStore(context.Background(), a.hook())
 		if err != nil {
 			return nil, err
 		}
@@ -557,7 +666,7 @@ func (a *Archive) ReconstructAll() ([]string, error) {
 func (a *Archive) ReconstructPartial() (lines []string, damaged []BlockError) {
 	damaged = a.Damage()
 	for _, b := range a.blocks {
-		st, err := b.openStore()
+		st, err := b.openStore(context.Background(), a.hook())
 		if err != nil {
 			damaged = append(damaged, *b.asBlockError(err))
 			continue
@@ -580,7 +689,7 @@ func (a *Archive) ReconstructPartial() (lines []string, damaged []BlockError) {
 func (a *Archive) Verify(deep bool) []BlockError {
 	damaged := a.Damage()
 	for _, b := range a.blocks {
-		st, err := b.openStore()
+		st, err := b.openStore(context.Background(), a.hook())
 		if err != nil {
 			damaged = append(damaged, *b.asBlockError(err))
 			continue

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrBudgetExceeded marks a query stopped by its work budget. It never
+// escapes the query path as an error: the query returns a Result with
+// Partial set instead, and internal scan loops use the sentinel to unwind.
+var ErrBudgetExceeded = errors.New("core: query budget exceeded")
+
+// Budget caps the work one query may perform, independent of its
+// wall-clock deadline (which travels on the context). A zero field means
+// unlimited. Budgets make a pathological query — a broad OR over a huge
+// archive, say — degrade into a clearly-marked partial result instead of
+// monopolizing the store.
+type Budget struct {
+	// MaxScannedBytes caps the decompressed capsule payload bytes the
+	// query's scans may examine.
+	MaxScannedBytes int64
+	// MaxDecompressions caps how many capsule payloads (or chunks) the
+	// query may decompress.
+	MaxDecompressions int64
+}
+
+// limited reports whether any cap is set.
+func (b Budget) limited() bool { return b.MaxScannedBytes > 0 || b.MaxDecompressions > 0 }
+
+// BudgetState tracks one query's consumption against its Budget. A single
+// state is shared by every block an archive query touches, so the caps
+// bound the whole query, not each block. All methods are safe for
+// concurrent use; a nil *BudgetState means unlimited and is valid
+// everywhere one is accepted.
+type BudgetState struct {
+	budget  Budget
+	scanned atomic.Int64
+	decomp  atomic.Int64
+}
+
+// NewBudgetState starts tracking a budget. It returns nil — the unlimited
+// state — when no cap is set.
+func NewBudgetState(b Budget) *BudgetState {
+	if !b.limited() {
+		return nil
+	}
+	return &BudgetState{budget: b}
+}
+
+// charge records work performed since the last charge.
+func (bs *BudgetState) charge(scannedBytes, decompressions int64) {
+	if bs == nil {
+		return
+	}
+	if scannedBytes > 0 {
+		bs.scanned.Add(scannedBytes)
+	}
+	if decompressions > 0 {
+		bs.decomp.Add(decompressions)
+	}
+}
+
+// Err returns ErrBudgetExceeded (wrapped with the blown cap) once any cap
+// has been reached, nil before that.
+func (bs *BudgetState) Err() error {
+	if bs == nil {
+		return nil
+	}
+	if m := bs.budget.MaxScannedBytes; m > 0 && bs.scanned.Load() >= m {
+		return fmt.Errorf("%w: scanned %d bytes of a %d-byte cap", ErrBudgetExceeded, bs.scanned.Load(), m)
+	}
+	if m := bs.budget.MaxDecompressions; m > 0 && bs.decomp.Load() >= m {
+		return fmt.Errorf("%w: %d decompressions of a cap of %d", ErrBudgetExceeded, bs.decomp.Load(), m)
+	}
+	return nil
+}
+
+// ScannedBytes returns the bytes charged so far.
+func (bs *BudgetState) ScannedBytes() int64 {
+	if bs == nil {
+		return 0
+	}
+	return bs.scanned.Load()
+}
+
+// Decompressions returns the decompressions charged so far.
+func (bs *BudgetState) Decompressions() int64 {
+	if bs == nil {
+		return 0
+	}
+	return bs.decomp.Load()
+}
+
+// ReadHook is called with the active query's context before each capsule
+// payload fetch (and, at the archive layer, before each block open). The
+// production hook is nil; tests install latency and stall injectors from
+// internal/faultinject here to prove a stalled read is cancelled. A
+// non-nil error aborts the read with that error.
+type ReadHook func(ctx context.Context) error
+
+// interruptState is the per-query cooperative cancellation and budget
+// bookkeeping, installed on the Store (under its mutex) for the duration
+// of one query.
+type interruptState struct {
+	ctx    context.Context
+	budget *BudgetState
+	// base* snapshot the store totals at query start; charged* remember
+	// what has already been pushed into the shared budget, so checkpoints
+	// charge deltas and archive queries accumulate across blocks.
+	baseScan      int
+	baseDecomp    int
+	chargedScan   int
+	chargedDecomp int
+}
+
+// checkpoint is the cooperative gate called before each capsule scan or
+// payload fetch and per verified candidate: it surfaces context
+// cancellation and charges scan work against the query budget. Callers
+// must hold st.mu during a query; outside a query it is a no-op.
+func (st *Store) checkpoint() error {
+	in := st.intr
+	if in == nil {
+		return nil
+	}
+	if in.ctx != nil {
+		if err := in.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if in.budget != nil {
+		scan := st.stats.bytesScanned - in.baseScan
+		dec := st.box.Decompressions - in.baseDecomp
+		in.budget.charge(int64(scan-in.chargedScan), int64(dec-in.chargedDecomp))
+		in.chargedScan, in.chargedDecomp = scan, dec
+		if err := in.budget.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beforeRead gates an actual payload read: the read hook (latency/fault
+// injection) first, then the regular checkpoint. Called only on payload
+// cache misses — a cached payload is not a read.
+func (st *Store) beforeRead() error {
+	if st.readHook != nil {
+		ctx := context.Background()
+		if st.intr != nil && st.intr.ctx != nil {
+			ctx = st.intr.ctx
+		}
+		if err := st.readHook(ctx); err != nil {
+			return err
+		}
+	}
+	return st.checkpoint()
+}
+
+// isInterrupt reports whether err is a cooperative stop: context
+// cancellation, deadline expiry, or budget exhaustion.
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExceeded)
+}
+
+// IsInterrupt reports whether err is a cooperative stop — context
+// cancellation, deadline expiry, or budget exhaustion — as opposed to a
+// data fault. The archive layer uses it to keep cancelled blocks out of
+// the damage quarantine.
+func IsInterrupt(err error) bool { return isInterrupt(err) }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"loggrep/internal/faultinject"
+)
+
+// TestQueryContextPreCancelled: a context cancelled before the query
+// starts stops it before any work, with the context's error.
+func TestQueryContextPreCancelled(t *testing.T) {
+	lines := genBlock(1, 500)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.QueryContext(ctx, "ERROR", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The same store still answers uncancelled queries normally.
+	checkQuery(t, st, lines, "ERROR")
+}
+
+// TestStalledReadCancelledWithinDeadline installs a stall far longer than
+// the deadline on every payload read and asserts the query unwinds with
+// DeadlineExceeded within 2× the deadline — the tentpole acceptance
+// criterion at store level. The stall honors ctx, so a correct plumbing
+// returns almost immediately after the deadline; only a path that drops
+// the context would sit out the full stall.
+func TestStalledReadCancelledWithinDeadline(t *testing.T) {
+	lines := genBlock(2, 800)
+	data := Compress(makeBlock(lines...), DefaultOptions())
+	st, err := Open(data, QueryOptions{ReadHook: faultinject.SlowRead(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadline = 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, qerr := st.QueryContext(ctx, "ERROR AND state:ERR#404", nil)
+	elapsed := time.Since(start)
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("stalled query returned %v, want context.DeadlineExceeded", qerr)
+	}
+	if elapsed > 2*deadline {
+		t.Fatalf("stalled query took %v, want <= %v (2x deadline)", elapsed, 2*deadline)
+	}
+	// Clearing the hook heals the store: nothing latched.
+	st.SetReadHook(nil)
+	res, err := st.Query("ERROR AND state:ERR#404")
+	if err != nil {
+		t.Fatalf("query after clearing hook: %v", err)
+	}
+	want := naiveQuery(t, lines, "ERROR AND state:ERR#404")
+	if len(res.Lines) != len(want) {
+		t.Fatalf("post-stall query found %d matches, want %d", len(res.Lines), len(want))
+	}
+}
+
+// TestBudgetPartialNeverWrong drives queries under shrinking budgets and
+// checks the partial-result contract: Partial set once any cap bites, and
+// every returned match also present in the grep oracle — degraded means
+// fewer matches, never wrong ones.
+func TestBudgetPartialNeverWrong(t *testing.T) {
+	lines := genBlock(3, 2000)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	for _, cmd := range testQueries {
+		want := naiveQuery(t, lines, cmd)
+		oracle := make(map[int]bool, len(want))
+		for _, l := range want {
+			oracle[l] = true
+		}
+		for _, b := range []Budget{
+			{MaxDecompressions: 1},
+			{MaxScannedBytes: 1},
+			{MaxScannedBytes: 64 << 10},
+			{MaxDecompressions: 4, MaxScannedBytes: 32 << 10},
+		} {
+			st.ResetCounters() // cold caches so the caps actually bite
+			st.ClearCache()
+			res, err := st.QueryContext(context.Background(), cmd, NewBudgetState(b))
+			if err != nil {
+				t.Fatalf("budget query %q %+v: %v", cmd, b, err)
+			}
+			if res.Partial && res.PartialReason == "" {
+				t.Fatalf("query %q: Partial without a reason", cmd)
+			}
+			for i, line := range res.Lines {
+				if !oracle[line] {
+					t.Fatalf("query %q budget %+v: line %d matched but oracle disagrees", cmd, b, line)
+				}
+				if res.Entries[i] != lines[line] {
+					t.Fatalf("query %q budget %+v: entry %d corrupted", cmd, b, line)
+				}
+			}
+			if !res.Partial && len(res.Lines) != len(want) {
+				t.Fatalf("query %q budget %+v: complete result has %d matches, oracle %d", cmd, b, len(res.Lines), len(want))
+			}
+		}
+	}
+}
+
+// TestBudgetPartialNotCached: a partial result must not poison the Query
+// Cache — the same command re-run without a budget gets the full answer.
+func TestBudgetPartialNotCached(t *testing.T) {
+	lines := genBlock(4, 1500)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	cmd := "ERROR AND 11.187.*.*"
+	res, err := st.QueryContext(context.Background(), cmd, NewBudgetState(Budget{MaxScannedBytes: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Skip("1-byte scan budget did not bite; nothing to assert")
+	}
+	checkQuery(t, st, lines, cmd)
+}
+
+// TestBudgetStateShared: one BudgetState spans stores, so archive-style
+// callers get a per-query cap, not a per-block one.
+func TestBudgetStateShared(t *testing.T) {
+	lines := genBlock(5, 1200)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	// "ERROR" hits template literals, so it costs no capsule scans — but
+	// verifying candidates still decompresses payloads, which a
+	// decompression cap observes.
+	bs := NewBudgetState(Budget{MaxDecompressions: 1})
+	if _, err := st.QueryContext(context.Background(), "ERROR", bs); err != nil {
+		t.Fatal(err)
+	}
+	if bs.Decompressions() == 0 {
+		t.Fatal("budget state recorded no decompression work")
+	}
+	// The state is now exhausted; a fresh store stops immediately.
+	st2, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	res, err := st2.QueryContext(context.Background(), "ERROR", bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("second store ignored the exhausted shared budget")
+	}
+	if !strings.Contains(res.PartialReason, "budget") {
+		t.Fatalf("PartialReason = %q, want it to name the budget", res.PartialReason)
+	}
+}
+
+// TestConcurrentQueryClearCache hammers one store from queriers, cache
+// clearers, and counter resetters at once; under -race this proves the
+// RWMutex split (cacheMu for the query cache, mu for scan state) actually
+// covers every mutation the satellite bug report named.
+func TestConcurrentQueryClearCache(t *testing.T) {
+	lines := genBlock(6, 800)
+	st, _ := mustOpen(t, makeBlock(lines...), DefaultOptions())
+	want := naiveQuery(t, lines, "ERROR")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch {
+				case g == 0 && i%3 == 0:
+					st.ClearCache()
+				case g == 1 && i%7 == 0:
+					st.ResetCounters()
+				default:
+					cmd := testQueries[(g*31+i)%len(testQueries)]
+					if _, err := st.Query(cmd); err != nil {
+						t.Errorf("concurrent Query(%q): %v", cmd, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, err := st.Query("ERROR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != len(want) {
+		t.Fatalf("after concurrent churn: %d matches, want %d", len(res.Lines), len(want))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"loggrep/internal/bitset"
@@ -17,18 +18,31 @@ import (
 // reconstructs an entry. Otherwise it falls back to the verifying Query
 // path.
 func (st *Store) Count(command string) (int, error) {
+	return st.CountContext(context.Background(), command)
+}
+
+// CountContext is Count under a context; cancellation is checked at the
+// same scan-granular checkpoints as QueryContext.
+func (st *Store) CountContext(ctx context.Context, command string) (int, error) {
 	expr, err := query.Parse(command)
 	if err != nil {
 		return 0, err
 	}
 	if allExactLeaves(expr) {
+		st.mu.Lock()
+		st.intr = &interruptState{
+			ctx:      ctx,
+			baseScan: st.stats.bytesScanned, baseDecomp: st.box.Decompressions,
+		}
 		set, err := st.exactEval(expr)
+		st.intr = nil
+		st.mu.Unlock()
 		if err != nil {
 			return 0, err
 		}
 		return set.Count(), nil
 	}
-	res, err := st.Query(command)
+	res, err := st.QueryContext(ctx, command, nil)
 	if err != nil {
 		return 0, err
 	}

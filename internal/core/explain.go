@@ -50,6 +50,8 @@ func (st *Store) Explain(command string) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	d0 := st.box.Decompressions
 	st.en.pruned = 0
 	ex := &Explain{Command: command, NumLines: st.NumLines()}

@@ -39,6 +39,9 @@ func (c *capsuleHole) find(part string, kind strmatch.Kind) (*bitset.Set, error)
 		c.st.stats.scanCacheHits++
 		return cached.Clone(), nil
 	}
+	if err := c.st.checkpoint(); err != nil {
+		return nil, err
+	}
 	sr, err := c.st.searcher(c.id)
 	if err != nil {
 		return nil, err
@@ -182,6 +185,9 @@ func (h *nominalVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, err
 	if len(dictIdxs) <= 8 {
 		// Few dictionary hits: one Boyer–Moore pass per index id.
 		for _, di := range dictIdxs {
+			if err := h.st.checkpoint(); err != nil {
+				return nil, err
+			}
 			key := capsule.FormatIndex(di, h.vm.IndexWidth)
 			h.st.stats.scans++
 			h.st.stats.bytesScanned += idxSr.Bytes()
@@ -194,6 +200,9 @@ func (h *nominalVarHole) find(part string, kind strmatch.Kind) (*bitset.Set, err
 	}
 	// Many hits: one membership pass over the index capsule beats
 	// len(dictIdxs) separate scans.
+	if err := h.st.checkpoint(); err != nil {
+		return nil, err
+	}
 	h.st.stats.scans++
 	h.st.stats.bytesScanned += idxSr.Bytes()
 	dictRows := h.st.box.Meta.Capsules[h.vm.DictCapID].Rows
@@ -237,6 +246,9 @@ func (h *nominalVarHole) findDict(part string, kind strmatch.Kind) ([]int, error
 				return nil, fmt.Errorf("%w: dict capsule %d shorter than its segments", capsule.ErrCorrupt, h.vm.DictCapID)
 			}
 			if h.feasible(dp, part, kind) {
+				if err := h.st.checkpoint(); err != nil {
+					return nil, err
+				}
 				fw := strmatch.NewFixedWidth(payload[off:off+segLen], w)
 				h.st.stats.scans++
 				h.st.stats.bytesScanned += segLen
@@ -253,6 +265,9 @@ func (h *nominalVarHole) findDict(part string, kind strmatch.Kind) ([]int, error
 	}
 	// Unpadded ("w/o fixed"): one variable-length scan over the whole
 	// dictionary; per-pattern jumps are impossible without fixed lengths.
+	if err := h.st.checkpoint(); err != nil {
+		return nil, err
+	}
 	sr, err := h.st.searcher(h.vm.DictCapID)
 	if err != nil {
 		return nil, err

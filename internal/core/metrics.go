@@ -43,4 +43,8 @@ var (
 		"Decompressed capsule bytes examined by scans")
 	mQueryMatches = obsv.Default.Histogram("loggrep_query_matches", "1",
 		"Matching lines per query")
+	mQueriesCancelled = obsv.Default.Counter("loggrep_query_cancelled_total",
+		"Queries stopped by context cancellation or deadline expiry")
+	mQueryBudgetExceeded = obsv.Default.Counter("loggrep_query_budget_exceeded_total",
+		"Queries cut short by an exhausted work budget (partial results)")
 )

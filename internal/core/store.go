@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"loggrep/internal/bitset"
@@ -17,9 +20,18 @@ import (
 type QueryOptions struct {
 	// DisableCache turns the Query Cache off ("w/o cache").
 	DisableCache bool
+	// ReadHook, when set, gates every capsule payload fetch (latency and
+	// fault injection; see ReadHook).
+	ReadHook ReadHook
 }
 
 // Store is an opened CapsuleBox ready to answer grep-like queries.
+//
+// A Store is safe for concurrent use: cached query results are served
+// under a read lock so hot queries stay concurrent, while the uncached
+// execution path — which mutates the scan caches and counters — is
+// serialized per store. Archive queries parallelize across blocks, so
+// per-store serialization does not limit cross-block parallelism.
 type Store struct {
 	box            *capsule.Box
 	en             engine
@@ -30,9 +42,23 @@ type Store struct {
 	searchers      map[int]searcher
 	chunkSearchers map[[2]int]searcher
 	findCache      map[findKey]*bitset.Set
-	qcache         map[string]*Result
 	size           int
 	stats          scanStats
+	readHook       ReadHook
+
+	// mu serializes every path that touches the mutable state above
+	// (searchers, findCache, the box payload caches, stats, the engine's
+	// stamp counters): uncached queries, reconstruction, Explain, and the
+	// counter accessors.
+	mu sync.Mutex
+	// intr is the active query's cancellation/budget state; non-nil only
+	// while mu is held by a query.
+	intr *interruptState
+
+	// cacheMu guards the Query Cache independently of mu so cache hits
+	// never wait behind a running query.
+	cacheMu sync.RWMutex
+	qcache  map[string]*Result
 }
 
 // scanStats counts the scan-level work a store performed; queries snapshot
@@ -74,6 +100,15 @@ type Result struct {
 	// Decompressions is how many Capsule payloads were decompressed to
 	// answer this query (0 when served from the Query Cache).
 	Decompressions int
+	// Partial marks a result cut short by an exhausted query budget.
+	// Every returned entry is still a verified, exact match — partiality
+	// only means later matches may be missing. Mirrors the
+	// archive.Result.Damaged contract: report what was searched instead
+	// of failing. Partial results are never cached.
+	Partial bool
+	// PartialReason says which cap stopped the query (empty when
+	// Partial is false).
+	PartialReason string
 }
 
 // Open parses a CapsuleBox produced by Compress.
@@ -92,6 +127,7 @@ func Open(data []byte, opts QueryOptions) (*Store, error) {
 		findCache:      make(map[findKey]*bitset.Set),
 		qcache:         make(map[string]*Result),
 		size:           len(data),
+		readHook:       opts.ReadHook,
 	}
 	st.lineIndex = make([]lineRef, box.Meta.NumLines)
 	covered := make([]bool, box.Meta.NumLines)
@@ -241,6 +277,9 @@ func (st *Store) value(id, row int) ([]byte, error) {
 			key := [2]int{id, ci}
 			sr, ok := st.chunkSearchers[key]
 			if !ok {
+				if err := st.beforeRead(); err != nil {
+					return nil, err
+				}
 				chunk, err := st.box.PayloadChunk(id, ci)
 				if err != nil {
 					return nil, err
@@ -274,6 +313,9 @@ func (st *Store) searcher(id int) (searcher, error) {
 	if sr, ok := st.searchers[id]; ok {
 		return sr, nil
 	}
+	if err := st.beforeRead(); err != nil {
+		return nil, err
+	}
 	payload, err := st.box.Payload(id)
 	if err != nil {
 		return nil, err
@@ -297,11 +339,25 @@ func (st *Store) CompressedSize() int { return st.size }
 
 // Decompressions returns the number of capsule payloads decompressed since
 // the store was opened (or since ResetCounters).
-func (st *Store) Decompressions() int { return st.box.Decompressions }
+func (st *Store) Decompressions() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.box.Decompressions
+}
+
+// SetReadHook installs (or clears, with nil) the payload read hook. It
+// waits for any running query, so a hook never appears mid-query.
+func (st *Store) SetReadHook(h ReadHook) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.readHook = h
+}
 
 // ResetCounters drops decompressed payload caches and counters, modelling a
 // cold query.
 func (st *Store) ResetCounters() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.box.DropCache()
 	st.searchers = make(map[int]searcher)
 	st.chunkSearchers = make(map[[2]int]searcher)
@@ -309,7 +365,11 @@ func (st *Store) ResetCounters() {
 }
 
 // ClearCache empties the Query Cache.
-func (st *Store) ClearCache() { st.qcache = make(map[string]*Result) }
+func (st *Store) ClearCache() {
+	st.cacheMu.Lock()
+	defer st.cacheMu.Unlock()
+	st.qcache = make(map[string]*Result)
+}
 
 // Query executes a grep-like command ("error AND dst:11.8.* NOT state:503")
 // and returns matching entries in block order.
@@ -322,7 +382,18 @@ func (st *Store) ClearCache() { st.qcache = make(map[string]*Result) }
 // surviving candidate lines and evaluates the exact expression on their
 // text, so results are precisely what grep on the raw block would return.
 func (st *Store) Query(command string) (*Result, error) {
-	return st.queryTraced(command, nil)
+	return st.queryTraced(context.Background(), command, nil, nil)
+}
+
+// QueryContext executes a command like Query under a context and an
+// optional work budget. Cancellation is cooperative, checked before each
+// capsule scan or payload fetch and per verified candidate, and surfaces
+// as the context's error. An exhausted budget is not an error: the query
+// returns the matches verified so far with Result.Partial set. budget may
+// be nil (unlimited) or shared across stores (archive queries share one
+// per query).
+func (st *Store) QueryContext(ctx context.Context, command string, budget *BudgetState) (*Result, error) {
+	return st.queryTraced(ctx, command, budget, nil)
 }
 
 // QueryTraced executes a command like Query and additionally records a
@@ -332,17 +403,25 @@ func (st *Store) Query(command string) (*Result, error) {
 // attributes are deterministic for a given store and command; span
 // durations are wall-clock.
 func (st *Store) QueryTraced(command string) (*Result, *obsv.Trace, error) {
+	return st.QueryTracedContext(context.Background(), command, nil)
+}
+
+// QueryTracedContext is QueryContext with a trace, see QueryTraced.
+func (st *Store) QueryTracedContext(ctx context.Context, command string, budget *BudgetState) (*Result, *obsv.Trace, error) {
 	tr := obsv.NewTrace("query")
-	res, err := st.queryTraced(command, tr)
+	res, err := st.queryTraced(ctx, command, budget, tr)
 	return res, tr, err
 }
 
-func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
+func (st *Store) queryTraced(ctx context.Context, command string, budget *BudgetState, tr *obsv.Trace) (*Result, error) {
 	t0 := time.Now()
 	mQueries.Inc()
 	tr.Attr("lines", int64(st.NumLines()))
 	if st.cacheOn {
-		if r, ok := st.qcache[command]; ok {
+		st.cacheMu.RLock()
+		r, ok := st.qcache[command]
+		st.cacheMu.RUnlock()
+		if ok {
 			mQueryCacheHits.Inc()
 			mQueryNS.Observe(time.Since(t0).Nanoseconds())
 			mQueryMatches.Observe(int64(len(r.Lines)))
@@ -352,6 +431,10 @@ func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
 		}
 	}
 	tr.Attr("cache_hit", 0)
+	if err := ctx.Err(); err != nil {
+		mQueriesCancelled.Inc()
+		return nil, err
+	}
 
 	parseSpan := tr.StartSpan("parse")
 	expr, err := query.Parse(command)
@@ -360,13 +443,39 @@ func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
 		return nil, err
 	}
 
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.intr = &interruptState{
+		ctx: ctx, budget: budget,
+		baseScan: st.stats.bytesScanned, baseDecomp: st.box.Decompressions,
+	}
+	defer func() { st.intr = nil }()
+
+	res := &Result{}
 	d0 := st.box.Decompressions
 	pruned0, admitted0 := st.en.pruned, st.en.admitted
 	stats0 := st.stats
 	filterSpan := tr.StartSpan("filter")
 	cand, err := st.overApprox(expr)
-	if err != nil {
+	if err != nil && !isInterrupt(err) {
+		filterSpan.End()
 		return nil, err
+	}
+	if err != nil {
+		// Stopped mid-filter. Budget exhaustion degrades to an empty
+		// partial result (candidates collected so far are an incomplete
+		// superset — verifying them is sound but overApprox has already
+		// discarded them); cancellation is a real error.
+		filterSpan.Attr("interrupted", 1).End()
+		if !isBudgetStop(err) {
+			mQueriesCancelled.Inc()
+			return nil, err
+		}
+		mQueryBudgetExceeded.Inc()
+		res.Partial, res.PartialReason = true, err.Error()
+		res.Decompressions = st.box.Decompressions - d0
+		mQueryNS.Observe(time.Since(t0).Nanoseconds())
+		return res, nil
 	}
 	filterSpan.Attr("candidates", int64(cand.Count())).
 		Attr("stamp_admits", int64(st.en.admitted-admitted0)).
@@ -383,10 +492,15 @@ func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
 
 	dFilter := st.box.Decompressions
 	verifySpan := tr.StartSpan("verify")
-	res := &Result{}
 	var verr error
+	checked := 0
 	cand.ForEach(func(line int) bool {
-		entry, err := st.ReconstructLine(line)
+		if err := st.checkpoint(); err != nil {
+			verr = err
+			return false
+		}
+		checked++
+		entry, err := st.reconstructLineLocked(line)
 		if err != nil {
 			verr = err
 			return false
@@ -397,10 +511,22 @@ func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
 		}
 		return true
 	})
-	if verr != nil {
+	if verr != nil && !isInterrupt(verr) {
+		verifySpan.End()
 		return nil, verr
 	}
-	verifySpan.Attr("candidates_checked", int64(cand.Count())).
+	if verr != nil && !isBudgetStop(verr) {
+		verifySpan.Attr("interrupted", 1).End()
+		mQueriesCancelled.Inc()
+		return nil, verr
+	}
+	if verr != nil {
+		// Budget ran out mid-verification: everything verified so far is
+		// an exact match; report it and mark the cut.
+		mQueryBudgetExceeded.Inc()
+		res.Partial, res.PartialReason = true, verr.Error()
+	}
+	verifySpan.Attr("candidates_checked", int64(checked)).
 		Attr("matches", int64(len(res.Lines))).
 		Attr("decompressions", int64(st.box.Decompressions-dFilter)).
 		End()
@@ -410,11 +536,17 @@ func (st *Store) queryTraced(command string, tr *obsv.Trace) (*Result, error) {
 	mQueryNS.Observe(time.Since(t0).Nanoseconds())
 	mQueryMatches.Observe(int64(len(res.Lines)))
 	tr.Attr("matches", int64(len(res.Lines)))
-	if st.cacheOn {
+	if st.cacheOn && !res.Partial {
+		st.cacheMu.Lock()
 		st.qcache[command] = res
+		st.cacheMu.Unlock()
 	}
 	return res, nil
 }
+
+// isBudgetStop distinguishes budget exhaustion from cancellation among
+// interrupt errors.
+func isBudgetStop(err error) bool { return errors.Is(err, ErrBudgetExceeded) }
 
 // exprMatch evaluates a query expression exactly against one entry's text.
 func exprMatch(e query.Expr, entry string) bool {
@@ -514,6 +646,14 @@ func (st *Store) searchCandidates(s *query.Search) (*bitset.Set, error) {
 
 // ReconstructLine rebuilds the original text of one block line.
 func (st *Store) ReconstructLine(line int) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.reconstructLineLocked(line)
+}
+
+// reconstructLineLocked is ReconstructLine for callers already holding
+// st.mu (the query verification loop, ReconstructAll).
+func (st *Store) reconstructLineLocked(line int) (string, error) {
 	if line < 0 || line >= len(st.lineIndex) {
 		return "", fmt.Errorf("core: line %d out of range", line)
 	}
@@ -626,9 +766,11 @@ func (st *Store) dictValue(vm *capsule.VarMeta, idx int) (string, error) {
 
 // ReconstructAll rebuilds the entire block, one string per line.
 func (st *Store) ReconstructAll() ([]string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([]string, st.NumLines())
 	for line := range out {
-		s, err := st.ReconstructLine(line)
+		s, err := st.reconstructLineLocked(line)
 		if err != nil {
 			return nil, err
 		}

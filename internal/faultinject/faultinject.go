@@ -1,6 +1,10 @@
 package faultinject
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // Corruptor is one named, deterministic fault.
 type Corruptor struct {
@@ -88,4 +92,31 @@ func clone(data []byte) []byte {
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out
+}
+
+// Stall blocks for d or until ctx is done, whichever comes first, and
+// returns ctx's error in the latter case — the shape of a read hanging on
+// a slow or dead disk. A query path that threads its context into Stall
+// correctly is cancellable mid-read; one that doesn't wedges for the full
+// d, which is what the cancellation tests assert against.
+func Stall(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SlowRead returns a read hook (assignable to core.ReadHook and
+// archive read hooks — the unnamed signature keeps this package
+// dependency-free) that stalls every gated read by d, honoring
+// cancellation. Use a d far above the test's deadline to simulate a
+// wedged device, or a small d to add uniform latency.
+func SlowRead(d time.Duration) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		return Stall(ctx, d)
+	}
 }

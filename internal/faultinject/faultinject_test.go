@@ -2,7 +2,10 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 )
 
 func TestCorruptorsArePure(t *testing.T) {
@@ -69,5 +72,38 @@ func TestSwapRanges(t *testing.T) {
 	rev := SwapRanges(2, 3, 0, 1).Apply([]byte("XyZZZtail"))
 	if !bytes.Equal(got, rev) {
 		t.Fatalf("order-sensitive: %q vs %q", got, rev)
+	}
+}
+
+func TestStall(t *testing.T) {
+	// Undisturbed, Stall sleeps its full duration and reports nil.
+	start := time.Now()
+	if err := Stall(context.Background(), 30*time.Millisecond); err != nil {
+		t.Fatalf("Stall returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Stall returned after %v, want >= 30ms", elapsed)
+	}
+	// A cancelled context cuts the stall short with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	if err := Stall(ctx, 30*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stall on cancelled ctx returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled Stall took %v, want immediate return", elapsed)
+	}
+}
+
+func TestSlowRead(t *testing.T) {
+	hook := SlowRead(10 * time.Millisecond)
+	if err := hook(context.Background()); err != nil {
+		t.Fatalf("SlowRead hook returned %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := SlowRead(30 * time.Second)(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SlowRead past deadline returned %v, want context.DeadlineExceeded", err)
 	}
 }

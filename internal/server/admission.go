@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// initAdmission builds the semaphore and wait queue from MaxConcurrent /
+// QueueDepth. Called once from Handler; changing the fields afterwards has
+// no effect.
+func (sv *Server) initAdmission() {
+	sv.admitOnce.Do(func() {
+		if sv.MaxConcurrent <= 0 {
+			return
+		}
+		sv.sem = make(chan struct{}, sv.MaxConcurrent)
+		qd := sv.QueueDepth
+		if qd <= 0 {
+			qd = 2 * sv.MaxConcurrent
+		}
+		sv.queue = make(chan struct{}, qd)
+	})
+}
+
+func (sv *Server) isDraining() bool {
+	sv.lifeMu.Lock()
+	defer sv.lifeMu.Unlock()
+	return sv.draining
+}
+
+// StartDraining flips the server into its shutdown posture: /healthz turns
+// unhealthy and new queries are refused with 503 while in-flight ones keep
+// running. Idempotent.
+func (sv *Server) StartDraining() {
+	sv.lifeMu.Lock()
+	sv.draining = true
+	sv.lifeMu.Unlock()
+}
+
+// HardStop cancels the context of every in-flight query. Draining should
+// come first; HardStop is the escalation when the grace period is half
+// spent. Idempotent.
+func (sv *Server) HardStop() {
+	sv.StartDraining()
+	sv.stopCancel()
+}
+
+// admit applies admission control to one query request. It returns a
+// release function (always call it, via defer) and whether the request may
+// proceed; when it may not, the response has already been written: 503
+// while draining, 429 + Retry-After when the wait queue is full, nothing
+// when the client hung up while queued.
+func (sv *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	nop := func() {}
+	if sv.isDraining() {
+		mQueriesRejectedDraining.Inc()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return nop, false
+	}
+	if sv.sem == nil {
+		return nop, true
+	}
+	// Fast path: a free execution slot, no queuing.
+	select {
+	case sv.sem <- struct{}{}:
+		return func() { <-sv.sem }, true
+	default:
+	}
+	// Queue, bounded: a full queue sheds the request immediately — under
+	// sustained overload, a deep queue only converts errors into timeouts.
+	select {
+	case sv.queue <- struct{}{}:
+	default:
+		mQueriesShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "server at concurrency limit; retry")
+		return nop, false
+	}
+	mQueriesQueued.Inc()
+	defer func() { <-sv.queue }()
+	select {
+	case sv.sem <- struct{}{}:
+		return func() { <-sv.sem }, true
+	case <-r.Context().Done():
+		// Client gave up while waiting; no one left to answer.
+		mQueriesHTTPCancelled.Inc()
+		return nop, false
+	case <-sv.stopCtx.Done():
+		mQueriesRejectedDraining.Inc()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return nop, false
+	}
+}
+
+// requestContext derives the query's context: the request context (client
+// disconnects cancel it), cancelled on server HardStop, with a deadline
+// from ?timeout_ms= or the server default, clamped to MaxTimeout. The
+// returned cancel must always be called. A malformed timeout_ms writes a
+// 400 and reports not-ok.
+func (sv *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	timeout := sv.QueryTimeout
+	if s := r.URL.Query().Get("timeout_ms"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil || ms <= 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout_ms parameter")
+			return nil, nil, false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if sv.MaxTimeout > 0 && (timeout <= 0 || timeout > sv.MaxTimeout) {
+		timeout = sv.MaxTimeout
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(sv.stopCtx, cancel)
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	full := cancel
+	return ctx, func() { stop(); full() }, true
+}

@@ -8,6 +8,23 @@ import (
 	"loggrep/internal/obsv"
 )
 
+// Admission-control and lifecycle metrics, registered in obsv.Default.
+// Every name here is documented in OPERATIONS.md; keep the two in sync.
+var (
+	mQueriesShed = obsv.Default.Counter("loggrep_http_queries_shed_total",
+		"Query requests refused with 429 because the wait queue was full")
+	mQueriesQueued = obsv.Default.Counter("loggrep_http_queries_queued_total",
+		"Query requests that waited in the admission queue")
+	mQueriesTimedOut = obsv.Default.Counter("loggrep_http_queries_timed_out_total",
+		"Query requests answered 504 after their deadline expired")
+	mQueriesHTTPCancelled = obsv.Default.Counter("loggrep_http_queries_cancelled_total",
+		"Query requests abandoned by the client or cut off by shutdown")
+	mQueriesRejectedDraining = obsv.Default.Counter("loggrep_http_rejected_draining_total",
+		"Requests refused with 503 while the server was draining")
+	mShutdowns = obsv.Default.Counter("loggrep_shutdowns_total",
+		"Graceful shutdowns initiated by signal")
+)
+
 // instrument wraps a handler with a per-endpoint request counter and latency
 // histogram, registered in obsv.Default as
 // loggrep_http_requests_total{endpoint="..."} and

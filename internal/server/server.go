@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,10 +22,11 @@ import (
 // MaxUploadBytes bounds PUT bodies.
 const MaxUploadBytes = 1 << 30
 
-// source is one loaded compressed dataset. Store/Archive are not
-// internally synchronized, so each source serializes access.
+// source is one loaded compressed dataset. Store and Archive synchronize
+// internally, so sources need no lock of their own and queries against
+// one source proceed concurrently (cache hits and distinct archive blocks
+// in parallel; same-block work serialized by the store).
 type source struct {
-	mu    sync.Mutex
 	box   *core.Store
 	arch  *archive.Archive
 	bytes int
@@ -36,9 +39,18 @@ func (s *source) numLines() int {
 	return s.box.NumLines()
 }
 
-func (s *source) query(cmd string, traced bool) ([]int, []string, []archive.BlockError, *obsv.Trace, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// queryResult is the normalized outcome of a query against either kind of
+// source.
+type queryResult struct {
+	lines         []int
+	entries       []string
+	damaged       []archive.BlockError
+	partial       bool
+	partialReason string
+	trace         *obsv.Trace
+}
+
+func (s *source) query(ctx context.Context, cmd string, traced bool, budget core.Budget) (*queryResult, error) {
 	if s.arch != nil {
 		var (
 			res *archive.Result
@@ -46,48 +58,47 @@ func (s *source) query(cmd string, traced bool) ([]int, []string, []archive.Bloc
 			err error
 		)
 		if traced {
-			res, tr, err = s.arch.QueryTraced(cmd, 0)
+			res, tr, err = s.arch.QueryTracedContext(ctx, cmd, 0, budget)
 		} else {
-			res, err = s.arch.Query(cmd, 0)
+			res, err = s.arch.QueryContext(ctx, cmd, 0, budget)
 		}
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
-		return res.Lines, res.Entries, res.Damaged, tr, nil
+		return &queryResult{lines: res.Lines, entries: res.Entries, damaged: res.Damaged,
+			partial: res.Partial, partialReason: res.PartialReason, trace: tr}, nil
 	}
 	var (
 		res *core.Result
 		tr  *obsv.Trace
 		err error
 	)
+	bs := core.NewBudgetState(budget)
 	if traced {
-		res, tr, err = s.box.QueryTraced(cmd)
+		res, tr, err = s.box.QueryTracedContext(ctx, cmd, bs)
 	} else {
-		res, err = s.box.Query(cmd)
+		res, err = s.box.QueryContext(ctx, cmd, bs)
 	}
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
-	return res.Lines, res.Entries, nil, tr, nil
+	return &queryResult{lines: res.Lines, entries: res.Entries,
+		partial: res.Partial, partialReason: res.PartialReason, trace: tr}, nil
 }
 
-func (s *source) count(cmd string) (matches, damaged int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *source) count(ctx context.Context, cmd string) (matches, damaged int, err error) {
 	if s.arch != nil {
-		res, err := s.arch.Query(cmd, 0)
+		res, err := s.arch.QueryContext(ctx, cmd, 0, core.Budget{})
 		if err != nil {
 			return 0, 0, err
 		}
 		return len(res.Lines), len(res.Damaged), nil
 	}
-	matches, err = s.box.Count(cmd)
+	matches, err = s.box.CountContext(ctx, cmd)
 	return matches, 0, err
 }
 
 func (s *source) entry(line int) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.arch != nil {
 		return s.arch.Entry(line)
 	}
@@ -101,14 +112,46 @@ type Server struct {
 	// internals and should be opt-in (loggrepd -pprof).
 	Pprof bool
 
+	// MaxConcurrent caps the queries (and counts) executing at once; 0
+	// means unlimited. Excess requests wait in a short queue and are shed
+	// with 429 + Retry-After once it is full.
+	MaxConcurrent int
+	// QueueDepth sizes the wait queue in front of the semaphore. 0 picks
+	// the default of 2×MaxConcurrent. Ignored when MaxConcurrent is 0.
+	QueueDepth int
+	// QueryTimeout is the default per-request deadline; 0 means none. A
+	// request may override it with ?timeout_ms=, clamped to MaxTimeout.
+	QueryTimeout time.Duration
+	// MaxTimeout clamps per-request ?timeout_ms= overrides (and, when
+	// set, the default too). 0 means no clamp.
+	MaxTimeout time.Duration
+	// Budget caps the work of each query; zero fields mean unlimited.
+	// Queries that exhaust it return partial results, never errors.
+	Budget core.Budget
+
 	mu      sync.RWMutex
 	sources map[string]*source
 	start   time.Time
+
+	admitOnce sync.Once
+	sem       chan struct{} // execution slots (nil = unlimited)
+	queue     chan struct{} // wait-queue slots
+
+	// lifecycle: draining stops admission (503); stopCtx cancels every
+	// in-flight request context on hard stop.
+	lifeMu     sync.Mutex
+	draining   bool
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{sources: make(map[string]*source), start: time.Now()}
+	stopCtx, stopCancel := context.WithCancel(context.Background())
+	return &Server{
+		sources: make(map[string]*source), start: time.Now(),
+		stopCtx: stopCtx, stopCancel: stopCancel,
+	}
 }
 
 // Load registers compressed data under a name (box or archive,
@@ -140,6 +183,7 @@ func (sv *Server) Load(name string, data []byte) error {
 // Handler returns the routed http.Handler. Every endpoint is wrapped with
 // per-endpoint request/latency metrics (see instrument).
 func (sv *Server) Handler() http.Handler {
+	sv.initAdmission()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", instrument("healthz", sv.handleHealthz))
 	mux.HandleFunc("/metrics", instrument("metrics", handleMetrics))
@@ -162,8 +206,14 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sv.mu.RLock()
 	n := len(sv.sources)
 	sv.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	if sv.isDraining() {
+		// Load balancers watching /healthz should stop routing here the
+		// moment a shutdown begins.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
 		"sources":        n,
 		"uptime_seconds": int64(time.Since(sv.start).Seconds()),
 	})
@@ -258,6 +308,8 @@ type queryResponse struct {
 	Lines     []int           `json:"lines"`
 	Entries   []string        `json:"entries"`
 	Damaged   []damageInfo    `json:"damaged,omitempty"`
+	Partial   bool            `json:"partial,omitempty"`
+	PartialTo string          `json:"partial_reason,omitempty"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Trace     *obsv.TraceData `json:"trace,omitempty"`
 }
@@ -286,46 +338,85 @@ func damageJSON(damaged []archive.BlockError) []damageInfo {
 	return out
 }
 
+// queryError maps a query failure to its HTTP response. Cancellation by a
+// vanished client gets no response at all — nobody is listening.
+func (sv *Server) queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		mQueriesTimedOut.Inc()
+		httpError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		mQueriesHTTPCancelled.Inc()
+		if sv.stopCtx.Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		}
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
 func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, ok := sv.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	src, cmd, ok := sv.lookup(w, r)
 	if !ok {
 		return
 	}
-	start := time.Now()
-	traced := r.URL.Query().Get("trace") == "1"
-	lines, entries, damaged, tr, err := src.query(cmd, traced)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	ctx, cancel, ok := sv.requestContext(w, r)
+	if !ok {
 		return
 	}
-	if len(damaged) > 0 && r.URL.Query().Get("strict") == "1" {
+	defer cancel()
+	start := time.Now()
+	traced := r.URL.Query().Get("trace") == "1"
+	qr, err := src.query(ctx, cmd, traced, sv.Budget)
+	if err != nil {
+		sv.queryError(w, err)
+		return
+	}
+	if len(qr.damaged) > 0 && r.URL.Query().Get("strict") == "1" {
 		httpError(w, http.StatusInternalServerError,
-			fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(damaged)))
+			fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(qr.damaged)))
 		return
 	}
 	resp := queryResponse{
-		Matches:   len(lines),
-		Lines:     lines,
-		Entries:   entries,
-		Damaged:   damageJSON(damaged),
+		Matches:   len(qr.lines),
+		Lines:     qr.lines,
+		Entries:   qr.entries,
+		Damaged:   damageJSON(qr.damaged),
+		Partial:   qr.partial,
+		PartialTo: qr.partialReason,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
-	if tr != nil {
-		d := tr.Data()
+	if qr.trace != nil {
+		d := qr.trace.Data()
 		resp.Trace = &d
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	release, ok := sv.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	src, cmd, ok := sv.lookup(w, r)
 	if !ok {
 		return
 	}
+	ctx, cancel, ok := sv.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	start := time.Now()
-	n, damaged, err := src.count(cmd)
+	n, damaged, err := src.count(ctx, cmd)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		sv.queryError(w, err)
 		return
 	}
 	resp := map[string]any{

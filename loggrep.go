@@ -89,6 +89,27 @@ func RawQuery(block []byte, command string) (lines []int, entries []string, err 
 // revisits earlier steps (free, via the Query Cache).
 type Session = core.Session
 
+// Budget caps the work one query may perform (bytes scanned, payload
+// decompressions); zero fields mean unlimited. A query that exhausts its
+// budget returns the matches verified so far with Result.Partial set —
+// degraded, not wrong. Pass it to Archive.QueryContext, or track one
+// explicitly with NewBudgetState for Store.QueryContext.
+type Budget = core.Budget
+
+// BudgetState tracks one query's consumption against a Budget; a single
+// state can be shared across stores so the caps bound the whole query.
+// nil means unlimited.
+type BudgetState = core.BudgetState
+
+// NewBudgetState starts tracking a budget; it returns nil (unlimited)
+// when no cap is set.
+func NewBudgetState(b Budget) *BudgetState { return core.NewBudgetState(b) }
+
+// ReadHook gates capsule payload fetches and archive block opens —
+// the seam tests use for latency and stall injection (see
+// Store.SetReadHook, Archive.SetReadHook, QueryOptions.ReadHook).
+type ReadHook = core.ReadHook
+
 // Explain is the query planner report from Store.Explain: the per-group
 // filtering funnel and the work Capsule stamps avoided.
 type Explain = core.Explain
