@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 
+	"loggrep/internal/benchfmt"
 	"loggrep/internal/costmodel"
 	"loggrep/internal/harness"
 	"loggrep/internal/loggen"
+	"loggrep/internal/version"
 )
 
 func main() {
@@ -34,7 +36,13 @@ func main() {
 	file := flag.String("file", "", "run the 5-system comparison on this raw log file instead of synthetic workloads")
 	fileQuery := flag.String("query", "", "query command for -file mode")
 	stages := flag.Bool("stages", false, "print the compression stage breakdown (parse/extract/assemble/pack) at the end")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this path (see internal/benchfmt; \"\" = off)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("logbench", version.String())
+		return
+	}
 
 	cfg := harness.Config{LinesPerLog: *lines, Seed: *seed, QueryReps: *reps}
 	params := costmodel.Default()
@@ -143,6 +151,53 @@ func main() {
 	})
 	if *stages {
 		harness.PrintStageBreakdown(w)
+	}
+	if *jsonOut != "" {
+		if fig7Rows == nil {
+			fmt.Fprintln(os.Stderr, "logbench: -json needs the fig7 measurements (use -exp fig7 or -exp all)")
+			os.Exit(2)
+		}
+		bf := benchfmt.New(*exp, benchfmt.Config{Lines: *lines, Seed: *seed, Reps: *reps, Class: *class})
+		addFig7Metrics(bf, fig7Rows)
+		if err := benchfmt.Write(*jsonOut, bf); err != nil {
+			fmt.Fprintln(os.Stderr, "logbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s (%d metrics)\n", *jsonOut, len(bf.Metrics))
+	}
+}
+
+// addFig7Metrics folds the per-(log, system) rows into per-system
+// aggregates. Compression ratios and match counts are deterministic for a
+// fixed workload (tight or exact tolerances in bench_compare); wall-clock
+// times are environment-bound and get loose or informational tolerances.
+func addFig7Metrics(f *benchfmt.File, rows []harness.Fig7Row) {
+	type agg struct {
+		raw, comp             float64
+		compressSec, querySec float64
+		matches               float64
+	}
+	order := []string{}
+	sums := map[string]*agg{}
+	for _, r := range rows {
+		a := sums[r.System]
+		if a == nil {
+			a = &agg{}
+			sums[r.System] = a
+			order = append(order, r.System)
+		}
+		a.raw += float64(r.RawBytes)
+		a.comp += float64(r.CompBytes)
+		a.compressSec += r.CompressSec
+		a.querySec += r.QuerySec
+		a.matches += float64(r.Matches)
+	}
+	for _, name := range order {
+		a := sums[name]
+		f.Add(name+"/compression_ratio", a.raw/a.comp, "x", false)
+		f.Add(name+"/compress_mb_per_s", a.raw/(1<<20)/a.compressSec, "MB/s", false)
+		f.Add(name+"/query_total_s", a.querySec, "s", true)
+		f.AddExact(name+"/matches_total", a.matches, "matches")
 	}
 }
 

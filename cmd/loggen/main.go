@@ -16,10 +16,12 @@ import (
 	"path/filepath"
 
 	"loggrep/internal/loggen"
+	"loggrep/internal/version"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list log types and their queries")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	typ := flag.String("type", "", "log type to generate")
 	all := flag.Bool("all", false, "generate every log type into -dir")
 	n := flag.Int("n", 100000, "number of lines")
@@ -29,6 +31,8 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *showVersion:
+		fmt.Println("loggen", version.String())
 	case *list:
 		fmt.Printf("%-14s%-12s%s\n", "name", "class", "query")
 		for _, lt := range loggen.All() {

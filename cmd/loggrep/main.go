@@ -17,20 +17,28 @@
 //	loggrep compress -archive -block-mb 16 big.log
 //	loggrep query app.lgrep 'ERROR AND dst:11.8.* NOT state:503'
 //	loggrep query -trace app.lgrep ERROR
+//	loggrep query -trace=json app.lgrep ERROR
+//	loggrep stats -json app.lgrep
+//	loggrep explain app.lgrep ERROR
 //	loggrep cat app.lgrep > app.log.restored
 //	loggrep verify -deep app.lgrep
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"loggrep"
+	"loggrep/internal/anatomy"
+	"loggrep/internal/obsv"
+	"loggrep/internal/version"
 )
 
 // command is one loggrep subcommand. Its flag set is the single source of
@@ -70,7 +78,9 @@ func commands() []*command {
 		newCatCmd(),
 		newVerifyCmd(),
 		newStatCmd(),
+		newStatsCmd(),
 		newExplainCmd(),
+		newVersionCmd(),
 	}
 }
 
@@ -111,6 +121,9 @@ func main() {
 		os.Exit(2)
 	}
 	name := os.Args[1]
+	if name == "-version" || name == "--version" {
+		name = "version"
+	}
 	if name == "help" || name == "-h" || name == "--help" {
 		if len(os.Args) >= 3 {
 			c := findCommand(cmds, os.Args[2])
@@ -314,10 +327,33 @@ func reportDamage(damaged []loggrep.ArchiveBlockError, strict bool) error {
 	return nil
 }
 
+// traceFlag is the query command's -trace value: bare -trace prints the
+// text per-stage breakdown, -trace=json emits one wide-event JSON line (the
+// same shape loggrepd's slow-query log writes). Both land on stderr so
+// stdout stays the matched lines.
+type traceFlag struct{ mode string }
+
+func (f *traceFlag) String() string   { return f.mode }
+func (f *traceFlag) IsBoolFlag() bool { return true }
+func (f *traceFlag) Set(v string) error {
+	switch v {
+	case "true", "1", "text":
+		f.mode = "text"
+	case "false", "0":
+		f.mode = ""
+	case "json":
+		f.mode = "json"
+	default:
+		return fmt.Errorf("bad -trace value %q: want -trace, -trace=text, or -trace=json", v)
+	}
+	return nil
+}
+
 func newQueryCmd() *command {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "fail if any block is damaged instead of returning partial results")
-	trace := fs.Bool("trace", false, "print a per-stage span breakdown to stderr")
+	var trace traceFlag
+	fs.Var(&trace, "trace", "print a per-stage span breakdown to stderr; -trace=json emits one wide-event JSON line instead")
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	c := &command{
 		name:    "query",
@@ -339,7 +375,9 @@ func newQueryCmd() *command {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		lines, entries, decomp, damaged, tr, err := f.Query(ctx, strings.Join(fs.Args()[1:], " "), *trace)
+		cmd := strings.Join(fs.Args()[1:], " ")
+		t0 := time.Now()
+		lines, entries, decomp, damaged, tr, err := f.Query(ctx, cmd, trace.mode != "")
 		if err != nil {
 			return err
 		}
@@ -352,7 +390,25 @@ func newQueryCmd() *command {
 			fmt.Fprintf(os.Stderr, "%d matches\n", len(lines))
 		}
 		if tr != nil {
-			fmt.Fprint(os.Stderr, tr.String())
+			if trace.mode == "json" {
+				ev := &obsv.WideEvent{
+					TraceID:  obsv.NewTraceID(),
+					Time:     time.Now().UTC().Format(time.RFC3339Nano),
+					Version:  version.Version,
+					Endpoint: "cli",
+					Source:   fs.Arg(0),
+					Command:  cmd,
+				}
+				ev.FillFromTrace(tr.Data())
+				ev.DurNS = time.Since(t0).Nanoseconds()
+				ev.Matches = int64(len(lines))
+				ev.DamagedRegions = int64(len(damaged))
+				if err := ev.WriteLine(os.Stderr); err != nil {
+					return err
+				}
+			} else {
+				fmt.Fprint(os.Stderr, tr.String())
+			}
 		}
 		return reportDamage(damaged, *strict)
 	}
@@ -441,30 +497,89 @@ func newExplainCmd() *command {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	c := &command{
 		name:    "explain",
-		args:    "<box.lgrep> <query command>",
+		args:    "<file.lgrep> <query command>",
 		summary: "show the query plan and stamp-filtering funnel",
 		fs:      fs,
 	}
 	c.run = func() error {
 		if fs.NArg() < 2 {
-			return fmt.Errorf("explain needs a box file and a command")
+			return fmt.Errorf("explain needs a compressed file and a command")
 		}
 		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
 			return err
 		}
+		cmd := strings.Join(fs.Args()[1:], " ")
+		var ex *loggrep.Explain
 		if loggrep.IsArchive(data) {
-			return fmt.Errorf("explain works on single boxes, not archives")
-		}
-		st, err := loggrep.Open(data, loggrep.QueryOptions{})
-		if err != nil {
-			return err
-		}
-		ex, err := st.Explain(strings.Join(fs.Args()[1:], " "))
-		if err != nil {
-			return err
+			// Archives explain block by block; the funnels merge by
+			// template so the output reads like one big box plus a
+			// block-stamp pruning summary.
+			a, err := loggrep.OpenArchive(data)
+			if err != nil {
+				return err
+			}
+			ex, err = a.Explain(cmd)
+			if err != nil {
+				return err
+			}
+		} else {
+			st, err := loggrep.Open(data, loggrep.QueryOptions{})
+			if err != nil {
+				return err
+			}
+			ex, err = st.Explain(cmd)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Print(ex.String())
+		return nil
+	}
+	return c
+}
+
+func newStatsCmd() *command {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the full anatomy report as JSON")
+	c := &command{
+		name:    "stats",
+		args:    "<file.lgrep>",
+		summary: "dissect a box or archive: per-group and per-capsule anatomy",
+		fs:      fs,
+	}
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("stats needs a compressed file")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		rep, err := anatomy.Inspect(data)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Print(rep.String())
+		return nil
+	}
+	return c
+}
+
+func newVersionCmd() *command {
+	fs := flag.NewFlagSet("version", flag.ExitOnError)
+	c := &command{
+		name:    "version",
+		summary: "print the build version and commit",
+		fs:      fs,
+	}
+	c.run = func() error {
+		fmt.Println("loggrep", version.String())
 		return nil
 	}
 	return c

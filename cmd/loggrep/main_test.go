@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"os/exec"
@@ -244,6 +245,149 @@ func TestCLIErrors(t *testing.T) {
 		cmd := exec.Command(bin, args...)
 		if err := cmd.Run(); err == nil {
 			t.Errorf("loggrep %v should fail", args)
+		}
+	}
+}
+
+// TestCLITraceJSON runs `loggrep query -trace=json` and checks one valid
+// wide-event JSON line lands on stderr (after the "N matches" line).
+func TestCLITraceJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "a.log")
+	lt, _ := loggen.ByName("A")
+	if err := os.WriteFile(logPath, lt.Block(3, 2000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boxPath := filepath.Join(dir, "a.box")
+	run(t, bin, "compress", "-o", boxPath, logPath)
+	_, stderr := run(t, bin, "query", "-trace=json", boxPath, lt.Query)
+	var evLine string
+	for _, line := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(line, "{") {
+			evLine = line
+			break
+		}
+	}
+	if evLine == "" {
+		t.Fatalf("no JSON line on stderr:\n%s", stderr)
+	}
+	var ev struct {
+		TraceID      string `json:"trace_id"`
+		Endpoint     string `json:"endpoint"`
+		Source       string `json:"source"`
+		Command      string `json:"command"`
+		DurNS        int64  `json:"dur_ns"`
+		Matches      int64  `json:"matches"`
+		CapsuleScans int64  `json:"capsule_scans"`
+		Spans        []any  `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(evLine), &ev); err != nil {
+		t.Fatalf("wide event not valid JSON: %v\n%s", err, evLine)
+	}
+	if len(ev.TraceID) != 16 || ev.Endpoint != "cli" || ev.Source != boxPath {
+		t.Errorf("event identity wrong: %+v", ev)
+	}
+	if ev.Command != lt.Query || ev.DurNS <= 0 || ev.Matches == 0 || len(ev.Spans) == 0 {
+		t.Errorf("event content wrong: %+v", ev)
+	}
+}
+
+// TestCLIStats checks `loggrep stats` on a box and an archive: the human
+// table carries the anatomy headline and the JSON form's packed accounting
+// sums exactly to the file size.
+func TestCLIStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "a.log")
+	lt, _ := loggen.ByName("A")
+	if err := os.WriteFile(logPath, lt.Block(3, 4000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boxPath := filepath.Join(dir, "a.box")
+	run(t, bin, "compress", "-o", boxPath, logPath)
+	arcPath := filepath.Join(dir, "a.arc")
+	run(t, bin, "compress", "-archive", "-block-mb", "1", "-o", arcPath, logPath)
+
+	for _, path := range []string{boxPath, arcPath} {
+		out, _ := run(t, bin, "stats", path)
+		for _, want := range []string{"anatomy:", "stage", "parse", "pack", "capsules by kind", "dict"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("stats %s missing %q:\n%s", path, want, out)
+			}
+		}
+
+		jsonOut, _ := run(t, bin, "stats", "-json", path)
+		var rep struct {
+			TotalBytes int `json:"total_bytes"`
+			Stages     []struct {
+				PackedBytes int `json:"packed_bytes"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+			t.Fatalf("stats -json %s: %v", path, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, s := range rep.Stages {
+			sum += s.PackedBytes
+		}
+		if sum != int(fi.Size()) || rep.TotalBytes != int(fi.Size()) {
+			t.Errorf("stats %s: packed stages sum to %d, file is %d bytes", path, sum, fi.Size())
+		}
+	}
+}
+
+// TestCLIExplainArchive: explain now works on archives, reporting the
+// block-stamp pruning summary plus the merged per-group funnel.
+func TestCLIExplainArchive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "a.log")
+	lt, _ := loggen.ByName("A")
+	if err := os.WriteFile(logPath, lt.Block(3, 15000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arcPath := filepath.Join(dir, "a.arc")
+	run(t, bin, "compress", "-archive", "-block-mb", "1", "-o", arcPath, logPath)
+	out, _ := run(t, bin, "explain", arcPath, lt.Query)
+	for _, want := range []string{"explain", "archive:", "blocks", "searched", "candidate lines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("archive explain missing %q:\n%s", want, out)
+		}
+	}
+	// And still works on plain boxes.
+	boxPath := filepath.Join(dir, "a.box")
+	run(t, bin, "compress", "-o", boxPath, logPath)
+	out, _ = run(t, bin, "explain", boxPath, lt.Query)
+	if !strings.Contains(out, "candidate lines") || strings.Contains(out, "archive:") {
+		t.Errorf("box explain wrong:\n%s", out)
+	}
+}
+
+// TestCLIVersion: the version command and its flag spellings all print the
+// build stamp.
+func TestCLIVersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{{"version"}, {"-version"}, {"--version"}} {
+		out, _ := run(t, bin, args...)
+		if !strings.Contains(out, "loggrep") || !strings.Contains(out, "go1") {
+			t.Errorf("loggrep %v output: %q", args, out)
 		}
 	}
 }

@@ -22,6 +22,11 @@
 // in-flight queries get half of -shutdown-grace to finish, then are
 // cancelled; a drained server exits 0.
 //
+// Forensics: -slowlog <dur> writes one wide JSON event per slow request to
+// stderr (0 logs every request); -slowlog-sample N additionally emits every
+// Nth request so a healthy baseline stays visible. Each response carries an
+// X-Trace-Id header that joins the event to the /metrics latency exemplars.
+//
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
 // and heap profiling; leave it off in untrusted networks. OPERATIONS.md
 // documents every endpoint, flag, and exported metric.
@@ -38,7 +43,9 @@ import (
 	"time"
 
 	"loggrep/internal/core"
+	"loggrep/internal/obsv"
 	"loggrep/internal/server"
+	"loggrep/internal/version"
 )
 
 type loadFlags []string
@@ -58,9 +65,16 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 20*time.Second, "grace period for draining in-flight queries on SIGTERM")
 	maxScanMB := flag.Int64("max-scan-mb", 0, "per-query cap on scanned megabytes, exceeding returns partial results (0 = unlimited)")
 	maxDecomp := flag.Int64("max-decompressions", 0, "per-query cap on capsule decompressions, exceeding returns partial results (0 = unlimited)")
+	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
+	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("loggrepd", version.String())
+		return
+	}
 
 	sv := server.New()
 	sv.Pprof = *pprofOn
@@ -68,6 +82,14 @@ func main() {
 	sv.QueryTimeout = *queryTimeout
 	sv.MaxTimeout = *maxTimeout
 	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
+	if *slowlog >= 0 || *slowlogSample > 0 {
+		threshold := *slowlog
+		if threshold < 0 {
+			// -slowlog-sample alone: sample only, never threshold-emit.
+			threshold = time.Duration(1<<63 - 1)
+		}
+		sv.Events = obsv.NewEventLog(os.Stderr, threshold, *slowlogSample)
+	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -1,0 +1,83 @@
+package anatomy
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// String renders the report as the human table `loggrep stats` prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	ratio := 0.0
+	if r.TotalBytes > 0 {
+		ratio = float64(r.RawBytes) / float64(r.TotalBytes)
+	}
+	fmt.Fprintf(&b, "anatomy: %s, %d block(s), %d lines, %d raw -> %d packed bytes (%.2fx)\n",
+		r.Format, len(r.Blocks), r.NumLines, r.RawBytes, r.TotalBytes, ratio)
+	if r.DamagedRegions > 0 {
+		fmt.Fprintf(&b, "damaged regions: %d\n", r.DamagedRegions)
+	}
+
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\traw_bytes\tpacked_bytes\tnote\n")
+	for _, s := range r.Stages {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", s.Stage, s.RawBytes, s.PackedBytes, s.Note)
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t(file: %d bytes)\n", r.RawTotal(), r.PackedTotal(), r.TotalBytes)
+	tw.Flush()
+
+	if len(r.Kinds) > 0 {
+		fmt.Fprintf(&b, "\ncapsules by kind:\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "kind\tcount\tpacked\tpayload\tvalues\tpadding\n")
+		for _, k := range r.Kinds {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+				k.Kind, k.Count, k.PackedBytes, k.PayloadBytes, k.ValueBytes, k.PaddingBytes)
+		}
+		tw.Flush()
+	}
+	if r.PayloadBytes > 0 {
+		fmt.Fprintf(&b, "padding overhead: %d of %d payload bytes (%.1f%%)\n",
+			r.PaddingBytes, r.PayloadBytes, 100*float64(r.PaddingBytes)/float64(r.PayloadBytes))
+	}
+
+	for _, blk := range r.Blocks {
+		if len(r.Blocks) > 1 || blk.Stamp != "" {
+			fmt.Fprintf(&b, "\nblock %d: lines %d-%d", blk.Index, blk.FirstLine, blk.FirstLine+blk.NumLines-1)
+			if blk.RawBytes > 0 {
+				fmt.Fprintf(&b, ", %d raw bytes", blk.RawBytes)
+			}
+			if blk.Stamp != "" {
+				fmt.Fprintf(&b, ", stamp %s", blk.Stamp)
+			}
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte('\n')
+		}
+		if blk.Error != "" {
+			fmt.Fprintf(&b, "  unreadable: %s\n", blk.Error)
+			continue
+		}
+		for _, g := range blk.Box.Groups {
+			fmt.Fprintf(&b, "  group %-2d rows=%-6d vars=%d/%d(real/nominal) packed=%-7d %.60q\n",
+				g.Index, g.Rows, g.RealVars, g.NominalVars, g.PackedBytes, g.Template)
+		}
+		if blk.Box.OutlierLines > 0 {
+			fmt.Fprintf(&b, "  outlier lines: %d\n", blk.Box.OutlierLines)
+		}
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  cap\tkind\trows\twidth\tpacked\tpayload\tpad%%\tH(bits/B)\tstamp\tsel\n")
+		for _, c := range blk.Box.Capsules {
+			padPct := 0.0
+			if c.PayloadBytes > 0 {
+				padPct = 100 * float64(c.PaddingBytes) / float64(c.PayloadBytes)
+			}
+			fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.2f\t[%s]%d..%d\t%.2f\n",
+				c.ID, c.Kind, c.Rows, c.Width, c.PackedBytes, c.PayloadBytes,
+				padPct, c.EntropyBits, c.StampClasses, c.StampMinLen, c.StampMaxLen, c.Selectivity)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}

@@ -522,12 +522,24 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 					out <- blockRes{idx: idx, err: err}
 					continue
 				}
-				res, err := st.QueryContext(ctx, command, bs)
+				var (
+					res *core.Result
+					btr *obsv.Trace
+				)
+				if tr != nil {
+					// Traced archive queries trace each block too, so the
+					// engine's scan and stamp counters survive onto the
+					// block span (and into wide events built from it).
+					res, btr, err = st.QueryTracedContext(ctx, command, bs)
+				} else {
+					res, err = st.QueryContext(ctx, command, bs)
+				}
 				mArchiveBlockNS.Observe(time.Since(tb).Nanoseconds())
 				switch {
 				case err == nil:
 					span.Attr("matches", int64(len(res.Lines))).
 						Attr("decompressions", int64(res.Decompressions))
+					liftEngineAttrs(span, btr)
 					if res.Partial {
 						span.Attr("partial", 1)
 					}
@@ -601,6 +613,26 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 	}
 	mArchiveQueryNS.Observe(time.Since(t0).Nanoseconds())
 	return res, nil
+}
+
+// liftEngineAttrs sums the engine work counters from a block's inner query
+// trace onto the archive-level block span, in a fixed key order so traced
+// archive output stays deterministic.
+func liftEngineAttrs(span *obsv.SpanCursor, btr *obsv.Trace) {
+	if btr == nil {
+		return
+	}
+	sums := map[string]int64{}
+	for _, sp := range btr.Data().Spans {
+		for _, a := range sp.Attrs {
+			sums[a.Key] += a.Val
+		}
+	}
+	for _, k := range []string{"stamp_admits", "stamp_skips", "capsule_scans", "scan_cache_hits", "bytes_scanned"} {
+		if v, ok := sums[k]; ok {
+			span.Attr(k, v)
+		}
+	}
 }
 
 // asBlockError normalizes a block failure: openStore already returns

@@ -1,0 +1,126 @@
+// Package benchfmt defines the machine-readable benchmark result format
+// written by `logbench -json` (BENCH_<name>.json) and the baseline
+// comparison logic behind scripts/bench_compare.go.
+//
+// A result file is schema-versioned so a comparison across incompatible
+// formats fails loudly instead of silently passing. Values are the
+// min-of-reps measurements the text reports print; environment metadata
+// (version, commit, Go toolchain, CPU count) travels with the numbers so a
+// regression can be attributed to a code or environment change.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"loggrep/internal/version"
+)
+
+// SchemaVersion is bumped whenever the file shape or metric naming changes
+// incompatibly. Compare refuses to diff files with different versions.
+const SchemaVersion = 1
+
+// Env records where the numbers came from.
+type Env struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// CurrentEnv captures the running binary's environment.
+func CurrentEnv() Env {
+	return Env{
+		Version:   version.Version,
+		Commit:    version.Commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Config records the workload sizing, so baselines are only compared
+// against runs of the same shape.
+type Config struct {
+	Lines int    `json:"lines"`
+	Seed  int64  `json:"seed"`
+	Reps  int    `json:"reps"`
+	Class string `json:"class"`
+}
+
+// Metric is one named measurement.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// LowerIsBetter orients the regression check: true for latencies and
+	// sizes, false for ratios and throughputs.
+	LowerIsBetter bool `json:"lower_is_better"`
+	// Exact marks deterministic metrics (match counts): any drift in
+	// either direction fails the comparison, tolerances notwithstanding.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// File is one benchmark run.
+type File struct {
+	SchemaVersion int      `json:"schema_version"`
+	Name          string   `json:"name"`
+	Config        Config   `json:"config"`
+	Env           Env      `json:"env"`
+	Metrics       []Metric `json:"metrics"`
+}
+
+// New returns an empty result file stamped with the current environment.
+func New(name string, cfg Config) *File {
+	return &File{SchemaVersion: SchemaVersion, Name: name, Config: cfg, Env: CurrentEnv()}
+}
+
+// Add appends one metric.
+func (f *File) Add(name string, value float64, unit string, lowerIsBetter bool) {
+	f.Metrics = append(f.Metrics, Metric{Name: name, Value: value, Unit: unit, LowerIsBetter: lowerIsBetter})
+}
+
+// AddExact appends a deterministic metric that must not drift at all.
+func (f *File) AddExact(name string, value float64, unit string) {
+	f.Metrics = append(f.Metrics, Metric{Name: name, Value: value, Unit: unit, Exact: true})
+}
+
+// Lookup returns the named metric.
+func (f *File) Lookup(name string) (Metric, bool) {
+	for _, m := range f.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Write stores the file as indented JSON.
+func Write(path string, f *File) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Read loads and validates a result file.
+func Read(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: missing schema_version", path)
+	}
+	return &f, nil
+}

@@ -298,6 +298,9 @@ type Box struct {
 	// evaluation harness ("capsules touched"). Chunked fetches count one
 	// per chunk.
 	Decompressions int
+
+	metaCompLen int // compressed metadata section size
+	metaRawLen  int // decompressed metadata size
 }
 
 // ReadBox parses a CapsuleBox produced by WriteBox.
@@ -334,10 +337,31 @@ func ReadBox(data []byte) (*Box, error) {
 		if br.rowsPerChunk != meta.Capsules[i].ChunkRows && len(br.chunks) > 1 {
 			return nil, fmt.Errorf("%w: capsule %d chunk rows mismatch", ErrCorrupt, i)
 		}
+		br.encLen = consumed
 		refs[i] = br
 		rest = rest[consumed:]
 	}
-	return &Box{Meta: meta, refs: refs, cache: make(map[int][]byte), chunkCache: make(map[[2]int][]byte)}, nil
+	return &Box{
+		Meta: meta, refs: refs,
+		cache: make(map[int][]byte), chunkCache: make(map[[2]int][]byte),
+		metaCompLen: int(mlen), metaRawLen: len(metaRaw),
+	}, nil
+}
+
+// MetaSizes returns the compressed and decompressed byte size of the box's
+// metadata section (templates, runtime patterns, line maps, capsule
+// directory) — the "parse/extract" share of the packed bytes.
+func (b *Box) MetaSizes() (compressed, raw int) { return b.metaCompLen, b.metaRawLen }
+
+// BlobSize returns the encoded size of capsule id's blob inside the box:
+// the compressed chunks plus their chunk framing. Summing BlobSize over
+// all capsules plus MetaSizes' compressed size plus the box header framing
+// reconstructs the exact box file size (anatomy accounting relies on it).
+func (b *Box) BlobSize(id int) int {
+	if id < 0 || id >= len(b.refs) {
+		return 0
+	}
+	return b.refs[id].encLen
 }
 
 // payloadBound returns a sound upper bound on the decompressed size of a

@@ -82,6 +82,7 @@ func encodeBlob(info *Info, payload []byte, target int) []byte {
 type blobRef struct {
 	rowsPerChunk int
 	chunks       [][]byte // compressed
+	encLen       int      // encoded size in the box, chunk framing included
 }
 
 func decodeBlobRef(data []byte) (blobRef, int, error) {

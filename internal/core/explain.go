@@ -22,6 +22,14 @@ type Explain struct {
 	Decompressions int
 	// StampPrunes counts Capsule scans the stamps eliminated.
 	StampPrunes int
+	// Blocks/BlocksSearched/BlocksSkipped/BlocksDamaged describe archive-
+	// level aggregation (all zero when explaining a single box): how many
+	// blocks exist, how many the per-block stamps let through, how many
+	// they eliminated without opening, and how many were unreadable.
+	Blocks         int
+	BlocksSearched int
+	BlocksSkipped  int
+	BlocksDamaged  int
 }
 
 // SearchExplain is the funnel of one search string.
@@ -99,6 +107,13 @@ func (st *Store) Explain(command string) (*Explain, error) {
 func (ex *Explain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "explain %q over %d lines\n", ex.Command, ex.NumLines)
+	if ex.Blocks > 0 {
+		fmt.Fprintf(&b, "archive: %d blocks (%d searched, %d skipped by block stamps", ex.Blocks, ex.BlocksSearched, ex.BlocksSkipped)
+		if ex.BlocksDamaged > 0 {
+			fmt.Fprintf(&b, ", %d damaged", ex.BlocksDamaged)
+		}
+		b.WriteString(")\n")
+	}
 	for _, se := range ex.Searches {
 		fmt.Fprintf(&b, "search %q (fragments, most selective first: %v)\n", se.Phrase, se.Fragments)
 		shown := 0

@@ -46,11 +46,21 @@ const numBuckets = 64
 // to the bucket's factor-of-two resolution. The zero value is NOT ready:
 // use NewHistogram (or Registry.Histogram).
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	min     atomic.Int64
-	max     atomic.Int64
-	buckets [numBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	min       atomic.Int64
+	max       atomic.Int64
+	buckets   [numBuckets]atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it, so an
+// operator can jump from a latency bucket to the exact wide event.
+type Exemplar struct {
+	// BucketLo is the lower bound of the bucket the value landed in.
+	BucketLo int64  `json:"bucket_lo"`
+	Value    int64  `json:"value"`
+	TraceID  string `json:"trace_id"`
 }
 
 // NewHistogram returns an empty histogram.
@@ -78,6 +88,31 @@ func (h *Histogram) Observe(v int64) {
 		}
 	}
 	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveExemplar records one value and remembers traceID as the bucket's
+// exemplar. Buckets are a factor of two wide, so keeping the most recent
+// observation per bucket yields the trace of the slowest recent request to
+// within 2x — good enough to chase a p99 spike to a concrete event.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	b := bucketOf(v)
+	lo, _ := bucketBounds(b)
+	h.exemplars[b].Store(&Exemplar{BucketLo: lo, Value: v, TraceID: traceID})
+}
+
+// Exemplars returns the current per-bucket exemplars, lowest bucket first.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := 0; i < numBuckets; i++ {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 func bucketOf(v int64) int {
@@ -176,6 +211,7 @@ func (h *Histogram) reset() {
 	h.max.Store(math.MinInt64)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].Store(nil)
 	}
 }
 
@@ -190,6 +226,8 @@ type HistogramSnapshot struct {
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
 	Unit  string  `json:"unit,omitempty"`
+
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures the histogram's current summary.
@@ -203,6 +241,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+
+		Exemplars: h.Exemplars(),
 	}
 }
 
@@ -373,6 +413,15 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
 			fam, suffix, m.h.Sum(), fam, suffix, m.h.Count()); err != nil {
 			return err
+		}
+		// The classic text format has no exemplar syntax (that is
+		// OpenMetrics-only), so expose them as comment lines: harmless
+		// to every scraper, greppable by operators.
+		for _, e := range m.h.Exemplars() {
+			if _, err := fmt.Fprintf(w, "# EXEMPLAR %s bucket_lo=%d value=%d trace_id=%q\n",
+				m.name, e.BucketLo, e.Value, e.TraceID); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

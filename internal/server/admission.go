@@ -47,25 +47,33 @@ func (sv *Server) HardStop() {
 	sv.stopCancel()
 }
 
+// admitState describes what admission control did with a request — fed into
+// the request's wide event.
+type admitState struct {
+	queued bool // waited in the admission queue
+	shed   bool // refused with 429 (queue full)
+	status int  // HTTP status written on refusal, 0 when admitted or silent
+}
+
 // admit applies admission control to one query request. It returns a
-// release function (always call it, via defer) and whether the request may
-// proceed; when it may not, the response has already been written: 503
-// while draining, 429 + Retry-After when the wait queue is full, nothing
-// when the client hung up while queued.
-func (sv *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+// release function (always call it, via defer), the admission state, and
+// whether the request may proceed; when it may not, the response has
+// already been written: 503 while draining, 429 + Retry-After when the
+// wait queue is full, nothing when the client hung up while queued.
+func (sv *Server) admit(w http.ResponseWriter, r *http.Request) (func(), admitState, bool) {
 	nop := func() {}
 	if sv.isDraining() {
 		mQueriesRejectedDraining.Inc()
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
-		return nop, false
+		return nop, admitState{status: http.StatusServiceUnavailable}, false
 	}
 	if sv.sem == nil {
-		return nop, true
+		return nop, admitState{}, true
 	}
 	// Fast path: a free execution slot, no queuing.
 	select {
 	case sv.sem <- struct{}{}:
-		return func() { <-sv.sem }, true
+		return func() { <-sv.sem }, admitState{}, true
 	default:
 	}
 	// Queue, bounded: a full queue sheds the request immediately — under
@@ -76,21 +84,21 @@ func (sv *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 		mQueriesShed.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "server at concurrency limit; retry")
-		return nop, false
+		return nop, admitState{shed: true, status: http.StatusTooManyRequests}, false
 	}
 	mQueriesQueued.Inc()
 	defer func() { <-sv.queue }()
 	select {
 	case sv.sem <- struct{}{}:
-		return func() { <-sv.sem }, true
+		return func() { <-sv.sem }, admitState{queued: true}, true
 	case <-r.Context().Done():
 		// Client gave up while waiting; no one left to answer.
 		mQueriesHTTPCancelled.Inc()
-		return nop, false
+		return nop, admitState{queued: true}, false
 	case <-sv.stopCtx.Done():
 		mQueriesRejectedDraining.Inc()
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
-		return nop, false
+		return nop, admitState{queued: true, status: http.StatusServiceUnavailable}, false
 	}
 }
 

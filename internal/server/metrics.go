@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -25,11 +26,28 @@ var (
 		"Graceful shutdowns initiated by signal")
 )
 
+// traceIDKey carries the request's trace id in its context; instrument
+// installs it, traceIDFrom reads it back.
+type traceIDKey struct{}
+
+// traceIDFrom returns the trace id instrument assigned to this request, or
+// "" for a request that never passed through instrument (tests calling
+// handlers directly).
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
 // instrument wraps a handler with a per-endpoint request counter and latency
 // histogram, registered in obsv.Default as
 // loggrep_http_requests_total{endpoint="..."} and
 // loggrep_http_request_ns{endpoint="..."}. Every endpoint label is
 // documented in OPERATIONS.md; keep the two in sync.
+//
+// It also assigns each request a trace id — echoed in the X-Trace-Id
+// response header, stored in the request context for wide events, and
+// attached to the latency observation as the histogram bucket's exemplar —
+// so a slow observation on /metrics can be joined back to its wide event.
 func instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	reqs := obsv.Default.Counter(
 		fmt.Sprintf(`loggrep_http_requests_total{endpoint=%q}`, endpoint),
@@ -38,10 +56,13 @@ func instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 		fmt.Sprintf(`loggrep_http_request_ns{endpoint=%q}`, endpoint), "ns",
 		"HTTP request latency, by endpoint")
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := obsv.NewTraceID()
+		w.Header().Set("X-Trace-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
 		t0 := time.Now()
 		fn(w, r)
 		reqs.Inc()
-		lat.Observe(time.Since(t0).Nanoseconds())
+		lat.ObserveExemplar(time.Since(t0).Nanoseconds(), id)
 	}
 }
 

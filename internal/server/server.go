@@ -17,6 +17,7 @@ import (
 	"loggrep/internal/archive"
 	"loggrep/internal/core"
 	"loggrep/internal/obsv"
+	"loggrep/internal/version"
 )
 
 // MaxUploadBytes bounds PUT bodies.
@@ -128,6 +129,10 @@ type Server struct {
 	// Budget caps the work of each query; zero fields mean unlimited.
 	// Queries that exhaust it return partial results, never errors.
 	Budget core.Budget
+	// Events, when set, receives one wide observability event per query
+	// and count request (loggrepd wires -slowlog here). Setting it forces
+	// traced query execution so the events carry per-stage span timings.
+	Events *obsv.EventLog
 
 	mu      sync.RWMutex
 	sources map[string]*source
@@ -216,6 +221,7 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         status,
 		"sources":        n,
 		"uptime_seconds": int64(time.Since(sv.start).Seconds()),
+		"version":        version.String(),
 	})
 }
 
@@ -286,21 +292,25 @@ func (sv *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (*source, string, bool) {
+// lookup resolves the source and command of a query request. On failure the
+// error response has been written and errStatus/errMsg describe it (for the
+// request's wide event); errStatus is 0 on success.
+func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (src *source, cmd string, errStatus int, errMsg string) {
 	name := r.URL.Query().Get("source")
 	sv.mu.RLock()
-	src := sv.sources[name]
+	src = sv.sources[name]
 	sv.mu.RUnlock()
 	if src == nil {
-		httpError(w, http.StatusNotFound, "no such source "+strconv.Quote(name))
-		return nil, "", false
+		msg := "no such source " + strconv.Quote(name)
+		httpError(w, http.StatusNotFound, msg)
+		return nil, "", http.StatusNotFound, msg
 	}
-	cmd := r.URL.Query().Get("q")
+	cmd = r.URL.Query().Get("q")
 	if cmd == "" && !strings.HasSuffix(r.URL.Path, "/entry") {
 		httpError(w, http.StatusBadRequest, "missing q parameter")
-		return nil, "", false
+		return nil, "", http.StatusBadRequest, "missing q parameter"
 	}
-	return src, cmd, true
+	return src, cmd, 0, ""
 }
 
 type queryResponse struct {
@@ -338,48 +348,104 @@ func damageJSON(damaged []archive.BlockError) []damageInfo {
 	return out
 }
 
-// queryError maps a query failure to its HTTP response. Cancellation by a
-// vanished client gets no response at all — nobody is listening.
-func (sv *Server) queryError(w http.ResponseWriter, err error) {
+// queryError maps a query failure to its HTTP response and returns the
+// status code written. Cancellation by a vanished client gets no response
+// at all — nobody is listening — and reports status 0.
+func (sv *Server) queryError(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		mQueriesTimedOut.Inc()
 		httpError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		mQueriesHTTPCancelled.Inc()
 		if sv.stopCtx.Err() != nil {
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return http.StatusServiceUnavailable
 		}
+		return 0
 	default:
 		httpError(w, http.StatusBadRequest, err.Error())
+		return http.StatusBadRequest
 	}
 }
 
+// startEvent begins the wide event for one request, or returns nil when the
+// wide-event log is disabled; every downstream helper is nil-safe so the
+// handlers stay branch-free.
+func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
+	if sv.Events == nil {
+		return nil
+	}
+	return &obsv.WideEvent{
+		TraceID:              traceIDFrom(r.Context()),
+		Time:                 time.Now().UTC().Format(time.RFC3339Nano),
+		Version:              version.Version,
+		Endpoint:             endpoint,
+		Source:               r.URL.Query().Get("source"),
+		Command:              r.URL.Query().Get("q"),
+		BudgetScanBytes:      sv.Budget.MaxScannedBytes,
+		BudgetDecompressions: sv.Budget.MaxDecompressions,
+	}
+}
+
+// finishEvent stamps the event's outcome — wall-clock duration (what the
+// slowlog threshold applies to), admission state, final status — and emits
+// it through the log's threshold-or-sampled policy.
+func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, status int, errMsg string) {
+	if ev == nil {
+		return
+	}
+	ev.DurNS = time.Since(t0).Nanoseconds()
+	ev.Queued, ev.Shed = adm.queued, adm.shed
+	ev.Status = status
+	ev.Error = errMsg
+	sv.Events.Emit(ev)
+}
+
 func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	release, ok := sv.admit(w, r)
+	t0 := time.Now()
+	ev := sv.startEvent(r, "query")
+	release, adm, ok := sv.admit(w, r)
 	if !ok {
+		sv.finishEvent(ev, t0, adm, adm.status, "")
 		return
 	}
 	defer release()
-	src, cmd, ok := sv.lookup(w, r)
-	if !ok {
+	src, cmd, errStatus, errMsg := sv.lookup(w, r)
+	if errStatus != 0 {
+		sv.finishEvent(ev, t0, adm, errStatus, errMsg)
 		return
 	}
 	ctx, cancel, ok := sv.requestContext(w, r)
 	if !ok {
+		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, "bad timeout_ms parameter")
 		return
 	}
 	defer cancel()
 	start := time.Now()
 	traced := r.URL.Query().Get("trace") == "1"
-	qr, err := src.query(ctx, cmd, traced, sv.Budget)
+	// The wide event wants span timings even when the client didn't ask
+	// for a trace; the response only carries it when requested.
+	qr, err := src.query(ctx, cmd, traced || ev != nil, sv.Budget)
 	if err != nil {
-		sv.queryError(w, err)
+		status := sv.queryError(w, err)
+		sv.finishEvent(ev, t0, adm, status, err.Error())
 		return
 	}
+	if ev != nil && qr.trace != nil {
+		ev.FillFromTrace(qr.trace.Data())
+	}
+	if ev != nil {
+		ev.Matches = int64(len(qr.lines))
+		ev.Partial = qr.partial
+		ev.PartialReason = qr.partialReason
+		ev.DamagedRegions = int64(len(qr.damaged))
+	}
 	if len(qr.damaged) > 0 && r.URL.Query().Get("strict") == "1" {
-		httpError(w, http.StatusInternalServerError,
-			fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(qr.damaged)))
+		msg := fmt.Sprintf("source has %d damaged region(s); drop strict=1 for partial results", len(qr.damaged))
+		httpError(w, http.StatusInternalServerError, msg)
+		sv.finishEvent(ev, t0, adm, http.StatusInternalServerError, msg)
 		return
 	}
 	resp := queryResponse{
@@ -391,32 +457,39 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PartialTo: qr.partialReason,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
-	if qr.trace != nil {
+	if traced && qr.trace != nil {
 		d := qr.trace.Data()
 		resp.Trace = &d
 	}
 	writeJSON(w, http.StatusOK, resp)
+	sv.finishEvent(ev, t0, adm, http.StatusOK, "")
 }
 
 func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	release, ok := sv.admit(w, r)
+	t0 := time.Now()
+	ev := sv.startEvent(r, "count")
+	release, adm, ok := sv.admit(w, r)
 	if !ok {
+		sv.finishEvent(ev, t0, adm, adm.status, "")
 		return
 	}
 	defer release()
-	src, cmd, ok := sv.lookup(w, r)
-	if !ok {
+	src, cmd, errStatus, errMsg := sv.lookup(w, r)
+	if errStatus != 0 {
+		sv.finishEvent(ev, t0, adm, errStatus, errMsg)
 		return
 	}
 	ctx, cancel, ok := sv.requestContext(w, r)
 	if !ok {
+		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, "bad timeout_ms parameter")
 		return
 	}
 	defer cancel()
 	start := time.Now()
 	n, damaged, err := src.count(ctx, cmd)
 	if err != nil {
-		sv.queryError(w, err)
+		status := sv.queryError(w, err)
+		sv.finishEvent(ev, t0, adm, status, err.Error())
 		return
 	}
 	resp := map[string]any{
@@ -427,6 +500,11 @@ func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		resp["damaged_regions"] = damaged
 	}
 	writeJSON(w, http.StatusOK, resp)
+	if ev != nil {
+		ev.Matches = int64(n)
+		ev.DamagedRegions = int64(damaged)
+	}
+	sv.finishEvent(ev, t0, adm, http.StatusOK, "")
 }
 
 func (sv *Server) handleEntry(w http.ResponseWriter, r *http.Request) {

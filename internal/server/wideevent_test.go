@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"loggrep/internal/archive"
+	"loggrep/internal/core"
+	"loggrep/internal/loggen"
+	"loggrep/internal/obsv"
+)
+
+// syncBuffer lets the event log write from handler goroutines while the
+// test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newWideEventServer is newTestServer plus an always-on wide-event log.
+func newWideEventServer(t *testing.T) (*httptest.Server, *syncBuffer) {
+	t.Helper()
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 3000)
+	sv := New()
+	buf := &syncBuffer{}
+	sv.Events = obsv.NewEventLog(buf, 0, 0)
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	aopts := archive.DefaultOptions()
+	aopts.BlockBytes = 80 << 10
+	arcData, err := archive.Compress(block, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Load("arcA", arcData); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, buf
+}
+
+func parseEvents(t *testing.T, raw string) []obsv.WideEvent {
+	t.Helper()
+	var out []obsv.WideEvent
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev obsv.WideEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("wide event is not valid JSON: %v\n%s", err, sc.Text())
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestWideEventPerRequest: with -slowlog 0 semantics (threshold 0), every
+// query and count request emits exactly one wide event whose trace id
+// matches the X-Trace-Id response header and whose fields describe the
+// query's real work.
+func TestWideEventPerRequest(t *testing.T) {
+	ts, buf := newWideEventServer(t)
+	lt, _ := loggen.ByName("A")
+
+	resp, err := http.Get(ts.URL + "/v1/query?source=boxA&q=" + escape(lt.Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	headerID := resp.Header.Get("X-Trace-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(headerID) {
+		t.Fatalf("X-Trace-Id = %q, want 16 hex chars", headerID)
+	}
+	var boxRes queryResponse
+	getJSON(t, ts.URL+"/v1/query?source=arcA&q="+escape(lt.Query), http.StatusOK, &boxRes)
+	getJSON(t, ts.URL+"/v1/count?source=boxA&q=ERROR", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/v1/query?source=none&q=ERROR", http.StatusNotFound, nil)
+
+	evs := parseEvents(t, buf.String())
+	if len(evs) != 4 {
+		t.Fatalf("got %d wide events, want 4:\n%s", len(evs), buf.String())
+	}
+
+	box := evs[0]
+	if box.TraceID != headerID {
+		t.Errorf("event trace id %q != X-Trace-Id %q", box.TraceID, headerID)
+	}
+	if box.Endpoint != "query" || box.Source != "boxA" || box.Command != lt.Query {
+		t.Errorf("request identity wrong: %+v", box)
+	}
+	if box.Status != http.StatusOK || box.DurNS <= 0 || box.Time == "" || box.Version == "" {
+		t.Errorf("outcome fields wrong: %+v", box)
+	}
+	if box.Matches == 0 || box.Lines != 3000 {
+		t.Errorf("matches/lines wrong: matches=%d lines=%d", box.Matches, box.Lines)
+	}
+	if box.CapsuleScans == 0 || box.BytesScanned == 0 || box.Decompressions == 0 {
+		t.Errorf("work counters empty: %+v", box)
+	}
+	if len(box.Spans) == 0 {
+		t.Error("no span timings on box query event")
+	}
+	names := map[string]bool{}
+	for _, sp := range box.Spans {
+		names[sp.Name] = true
+	}
+	if !names["filter"] || !names["verify"] {
+		t.Errorf("expected filter+verify spans, got %v", names)
+	}
+
+	arc := evs[1]
+	if arc.Blocks == 0 || arc.BlocksSearched == 0 {
+		t.Errorf("archive event missing block shape: %+v", arc)
+	}
+	if arc.CapsuleScans == 0 || arc.BytesScanned == 0 {
+		t.Errorf("archive event missing engine work counters: %+v", arc)
+	}
+	if arc.Matches != box.Matches {
+		t.Errorf("archive matches %d != box matches %d", arc.Matches, box.Matches)
+	}
+
+	count := evs[2]
+	if count.Endpoint != "count" || count.Status != http.StatusOK || count.Matches == 0 {
+		t.Errorf("count event wrong: %+v", count)
+	}
+
+	miss := evs[3]
+	if miss.Status != http.StatusNotFound || miss.Error == "" {
+		t.Errorf("error event wrong: %+v", miss)
+	}
+}
+
+// TestWideEventBudgetAndCache: budget caps land in the event, and a
+// repeated query is visibly a cache hit.
+func TestWideEventBudgetAndCache(t *testing.T) {
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 3000)
+	sv := New()
+	buf := &syncBuffer{}
+	sv.Events = obsv.NewEventLog(buf, 0, 0)
+	sv.Budget = core.Budget{MaxScannedBytes: 1 << 30, MaxDecompressions: 1 << 20}
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+
+	url := ts.URL + "/v1/query?source=boxA&q=" + escape(lt.Query)
+	getJSON(t, url, http.StatusOK, nil)
+	getJSON(t, url, http.StatusOK, nil)
+
+	evs := parseEvents(t, buf.String())
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].BudgetScanBytes != 1<<30 || evs[0].BudgetDecompressions != 1<<20 {
+		t.Errorf("budget caps missing: %+v", evs[0])
+	}
+	if evs[0].CacheHit {
+		t.Errorf("first query reported as cache hit: %+v", evs[0])
+	}
+	if !evs[1].CacheHit {
+		t.Errorf("repeat query not reported as cache hit: %+v", evs[1])
+	}
+}
+
+// TestWideEventSlowlogThreshold: a high threshold suppresses fast requests
+// entirely.
+func TestWideEventSlowlogThreshold(t *testing.T) {
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 1000)
+	sv := New()
+	buf := &syncBuffer{}
+	sv.Events = obsv.NewEventLog(buf, 1<<62, 0)
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	getJSON(t, ts.URL+"/v1/query?source=boxA&q=ERROR", http.StatusOK, nil)
+	if got := buf.String(); got != "" {
+		t.Errorf("fast request emitted despite huge threshold:\n%s", got)
+	}
+	if sv.Events.Emitted() != 0 {
+		t.Errorf("Emitted = %d, want 0", sv.Events.Emitted())
+	}
+}
+
+// TestMetricsExemplarJoinsWideEvent: the /metrics latency histogram for the
+// query endpoint carries an exemplar whose trace id matches one of the
+// emitted wide events — the join the forensics runbook relies on.
+func TestMetricsExemplarJoinsWideEvent(t *testing.T) {
+	ts, buf := newWideEventServer(t)
+	lt, _ := loggen.ByName("A")
+	for i := 0; i < 3; i++ {
+		getJSON(t, ts.URL+"/v1/query?source=boxA&q="+escape(lt.Query), http.StatusOK, nil)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	re := regexp.MustCompile(`# EXEMPLAR loggrep_http_request_ns\{endpoint="query"\}.*trace_id="([0-9a-f]{16})"`)
+	ms := re.FindAllStringSubmatch(string(body), -1)
+	if len(ms) == 0 {
+		t.Fatalf("/metrics has no exemplar for the query endpoint:\n%s", body)
+	}
+	evIDs := map[string]bool{}
+	for _, ev := range parseEvents(t, buf.String()) {
+		evIDs[ev.TraceID] = true
+	}
+	joined := false
+	for _, m := range ms {
+		if evIDs[m[1]] {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Errorf("no exemplar trace id %v found among wide events %v", ms, evIDs)
+	}
+}
+
+// benchQueries drives b.N distinct queries (unique needle per iteration,
+// defeating the query cache) through the full handler stack.
+func benchQueries(b *testing.B, events bool) {
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 3000)
+	sv := New()
+	if events {
+		sv.Events = obsv.NewEventLog(io.Discard, 0, 0)
+	}
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		b.Fatal(err)
+	}
+	h := sv.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("GET", fmt.Sprintf("/v1/query?source=boxA&q=needle%dmissing", i), nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// The pair behind the "<2% overhead" claim in EXPERIMENTS.md: identical
+// uncached query work with the wide-event log (and its forced tracing +
+// exemplars) on and off.
+func BenchmarkQueryBaseline(b *testing.B)   { benchQueries(b, false) }
+func BenchmarkQueryWideEvents(b *testing.B) { benchQueries(b, true) }
+
+// BenchmarkQueryTracedOnly isolates the forced-tracing share of the
+// wide-event cost: tracing on, no event log.
+func BenchmarkQueryTracedOnly(b *testing.B) {
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 3000)
+	sv := New()
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		b.Fatal(err)
+	}
+	h := sv.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("GET", fmt.Sprintf("/v1/query?source=boxA&q=needle%dmissing&trace=1", i), nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

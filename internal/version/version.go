@@ -1,0 +1,27 @@
+// Package version holds the build identity stamped into every LogGrep
+// binary. The variables are plain "dev"/"unknown" defaults overridden at
+// link time via -ldflags -X (see scripts/version.sh), so the same values
+// surface in `loggrep -version`, /healthz, wide events, and BENCH_*.json
+// metadata and a measurement can always be tied back to a commit.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the human-readable build version (git describe output for
+// release builds, "dev" otherwise). Set via:
+//
+//	go build -ldflags "$(scripts/version.sh)" ./...
+var Version = "dev"
+
+// Commit is the abbreviated git commit hash the binary was built from.
+var Commit = "unknown"
+
+// String renders the full build identity, e.g.
+// "dev (unknown) go1.24.0 linux/amd64".
+func String() string {
+	return fmt.Sprintf("%s (%s) %s %s/%s",
+		Version, Commit, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

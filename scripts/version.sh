@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Prints the -ldflags value that stamps the build version and commit into
+# the LogGrep binaries:
+#
+#   go build -ldflags "$(scripts/version.sh)" ./cmd/...
+#
+# VERSION and COMMIT environment variables override the git-derived values
+# (useful in release pipelines and containers without a .git directory).
+set -eu
+
+VERSION="${VERSION:-$(git describe --tags --always --dirty 2>/dev/null || echo dev)}"
+COMMIT="${COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+
+printf -- '-X loggrep/internal/version.Version=%s -X loggrep/internal/version.Commit=%s\n' \
+	"$VERSION" "$COMMIT"
