@@ -22,6 +22,7 @@
 //	loggrep explain app.lgrep ERROR
 //	loggrep cat app.lgrep > app.log.restored
 //	loggrep verify -deep app.lgrep
+//	loggrep diag flightrec/bundle-20260805T100000.000-0001-sigquit.json
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 
 	"loggrep"
 	"loggrep/internal/anatomy"
+	"loggrep/internal/flightrec"
 	"loggrep/internal/obsv"
 	"loggrep/internal/version"
 )
@@ -80,6 +82,7 @@ func commands() []*command {
 		newStatCmd(),
 		newStatsCmd(),
 		newExplainCmd(),
+		newDiagCmd(),
 		newVersionCmd(),
 	}
 }
@@ -566,6 +569,34 @@ func newStatsCmd() *command {
 			return enc.Encode(rep)
 		}
 		fmt.Print(rep.String())
+		return nil
+	}
+	return c
+}
+
+func newDiagCmd() *command {
+	fs := flag.NewFlagSet("diag", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable incident summary as JSON")
+	c := &command{
+		name:    "diag",
+		args:    "<bundle.json>",
+		summary: "render a flight-recorder bundle's incident story",
+		fs:      fs,
+	}
+	c.run = func() error {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("diag needs a flight-recorder bundle file")
+		}
+		b, err := flightrec.LoadBundle(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(b.Summary())
+		}
+		fmt.Print(b.Story())
 		return nil
 	}
 	return c

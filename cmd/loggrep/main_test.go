@@ -10,7 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"loggrep/internal/flightrec"
 	"loggrep/internal/loggen"
+	"loggrep/internal/obsv"
 )
 
 // buildCLI compiles the loggrep binary once per test run.
@@ -389,5 +391,57 @@ func TestCLIVersion(t *testing.T) {
 		if !strings.Contains(out, "loggrep") || !strings.Contains(out, "go1") {
 			t.Errorf("loggrep %v output: %q", args, out)
 		}
+	}
+}
+
+// TestCLIDiag renders a real flight-recorder bundle end to end: the text
+// story and the -json summary both come straight from the dumped file.
+func TestCLIDiag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	rec := flightrec.NewRecorder(flightrec.Config{Dir: dir, Registry: obsv.NewRegistry()})
+	rec.Record(&obsv.WideEvent{TraceID: "00c0ffee00c0ffee", Endpoint: "query", Source: "prod",
+		Command: "ERROR AND state:503", Status: 200, DurNS: 250_000,
+		Spans: []obsv.Span{{Name: "filter", DurNS: 200_000}, {Name: "verify", DurNS: 40_000}}})
+	rec.Sample()
+	path, err := rec.TriggerDump("sigquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := run(t, bin, "diag", path)
+	for _, want := range []string{
+		"trigger=sigquit", "metrics timeline", "worst requests:",
+		"00c0ffee00c0ffee", "prod: ERROR AND state:503", "stage breakdown", "filter", "verify",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diag story missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonOut, _ := run(t, bin, "diag", "-json", path)
+	var s struct {
+		Manifest struct {
+			SchemaVersion int    `json:"schema_version"`
+			Trigger       string `json:"trigger"`
+		} `json:"manifest"`
+		Requests int `json:"requests"`
+		Stages   []struct {
+			Name string `json:"name"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &s); err != nil {
+		t.Fatalf("diag -json not valid JSON: %v\n%s", err, jsonOut)
+	}
+	if s.Manifest.Trigger != "sigquit" || s.Manifest.SchemaVersion != flightrec.BundleSchemaVersion || s.Requests != 1 || len(s.Stages) != 2 {
+		t.Errorf("diag -json content wrong: %+v\n%s", s, jsonOut)
+	}
+
+	// A missing or non-bundle file is a clean failure, not a panic.
+	if stderr := runFail(t, bin, "diag", filepath.Join(dir, "nope.json")); stderr == "" {
+		t.Error("diag on missing file produced no error output")
 	}
 }

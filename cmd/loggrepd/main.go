@@ -24,8 +24,20 @@
 //
 // Forensics: -slowlog <dur> writes one wide JSON event per slow request to
 // stderr (0 logs every request); -slowlog-sample N additionally emits every
-// Nth request so a healthy baseline stays visible. Each response carries an
-// X-Trace-Id header that joins the event to the /metrics latency exemplars.
+// Nth request so a healthy baseline stays visible; -slowlog-file redirects
+// the events to a size-bounded rotating file (-slowlog-file-mb per
+// generation, one .1 generation kept). Each response carries an X-Trace-Id
+// header that joins the event to the /metrics latency exemplars.
+//
+// The flight recorder (-flightrec, on by default) keeps the last
+// -flightrec-events wide events and ~10 minutes of per-second runtime
+// metrics in bounded in-memory rings. A trigger — a request slower than
+// -flightrec-latency, a burst of -flightrec-errors 5xx responses or
+// -flightrec-budget budget-exhausted queries within 30s, a recovered
+// handler panic, SIGQUIT, or POST /debug/dump — writes one self-contained
+// diagnostic bundle to -flightrec-dir (at most one per
+// -flightrec-cooldown, oldest pruned beyond -flightrec-max-bundles).
+// Render bundles with `loggrep diag`; live status at GET /debug/flightrec.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
 // and heap profiling; leave it off in untrusted networks. OPERATIONS.md
@@ -35,6 +47,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -43,6 +56,7 @@ import (
 	"time"
 
 	"loggrep/internal/core"
+	"loggrep/internal/flightrec"
 	"loggrep/internal/obsv"
 	"loggrep/internal/server"
 	"loggrep/internal/version"
@@ -67,6 +81,16 @@ func main() {
 	maxDecomp := flag.Int64("max-decompressions", 0, "per-query cap on capsule decompressions, exceeding returns partial results (0 = unlimited)")
 	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
 	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
+	slowlogFile := flag.String("slowlog-file", "", "write slowlog events to this rotating file instead of stderr (implies -slowlog 0 unless set)")
+	slowlogFileMB := flag.Int64("slowlog-file-mb", 64, "rotate -slowlog-file after this many megabytes (one .1 generation kept)")
+	flightrecOn := flag.Bool("flightrec", true, "keep the always-on flight recorder (event/metrics rings + triggered diagnostic bundles)")
+	flightrecDir := flag.String("flightrec-dir", "flightrec", "directory for diagnostic bundles")
+	flightrecEvents := flag.Int("flightrec-events", 256, "wide events kept in the flight recorder ring")
+	flightrecLatency := flag.Duration("flightrec-latency", 0, "dump a bundle when a request at least this slow completes (0 = off)")
+	flightrecErrors := flag.Int("flightrec-errors", 0, "dump a bundle on this many 5xx responses within 30s (0 = off)")
+	flightrecBudget := flag.Int("flightrec-budget", 0, "dump a bundle on this many budget-exhausted partial queries within 30s (0 = off)")
+	flightrecCooldown := flag.Duration("flightrec-cooldown", time.Minute, "minimum gap between diagnostic bundles")
+	flightrecMax := flag.Int("flightrec-max-bundles", 8, "bundle files kept in -flightrec-dir before pruning the oldest")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
@@ -82,13 +106,51 @@ func main() {
 	sv.QueryTimeout = *queryTimeout
 	sv.MaxTimeout = *maxTimeout
 	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
-	if *slowlog >= 0 || *slowlogSample > 0 {
+	if *slowlog >= 0 || *slowlogSample > 0 || *slowlogFile != "" {
 		threshold := *slowlog
 		if threshold < 0 {
-			// -slowlog-sample alone: sample only, never threshold-emit.
-			threshold = time.Duration(1<<63 - 1)
+			if *slowlogSample > 0 {
+				// -slowlog-sample alone: sample only, never threshold-emit.
+				threshold = time.Duration(1<<63 - 1)
+			} else {
+				// -slowlog-file alone: the operator asked for a log file,
+				// so log every request into it.
+				threshold = 0
+			}
 		}
-		sv.Events = obsv.NewEventLog(os.Stderr, threshold, *slowlogSample)
+		var sink io.Writer = os.Stderr
+		if *slowlogFile != "" {
+			rf, err := flightrec.OpenRotatingFile(*slowlogFile, *slowlogFileMB<<20)
+			if err != nil {
+				fatal(err)
+			}
+			defer rf.Close()
+			sink = rf
+		}
+		sv.Events = obsv.NewEventLog(sink, threshold, *slowlogSample)
+	}
+	if *flightrecOn {
+		// Record how this process was launched: every explicitly-set flag
+		// lands verbatim in each bundle.
+		flags := map[string]any{}
+		flag.Visit(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+		rec := flightrec.NewRecorder(flightrec.Config{
+			Dir:            *flightrecDir,
+			EventRingSize:  *flightrecEvents,
+			LatencyTrigger: *flightrecLatency,
+			ErrorBurst:     *flightrecErrors,
+			BudgetBurst:    *flightrecBudget,
+			Cooldown:       *flightrecCooldown,
+			MaxBundles:     *flightrecMax,
+			Static:         map[string]any{"addr": *addr, "flags": flags},
+			StateFn:        func() any { return sv.SourcesSummary() },
+		})
+		rec.Start()
+		defer rec.Stop()
+		sv.FlightRec = rec
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go rec.DumpOn(quit, "sigquit")
 	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")

@@ -1,0 +1,21 @@
+// Package flightrec is LogGrep's black-box flight recorder. It keeps two
+// always-on, hard-bounded in-memory rings — the last N wide events for
+// every request (internal/obsv.WideEvent, not just the slow ones) and a
+// per-second ring of metric deltas plus Go runtime stats covering the
+// last ~10 minutes — and materializes them to disk only when a trigger
+// fires: a latency-threshold breach, a 5xx spike, a burst of
+// budget-exhausted queries, a handler panic, SIGQUIT, or an explicit
+// POST /debug/dump.
+//
+// A triggered dump atomically writes one self-contained JSON bundle
+// (manifest, recent events, metrics timeline, goroutine dump, process
+// config, open-source summary, absolute counter values) with a cooldown
+// and a max-bundle retention cap so a flapping trigger cannot fill the
+// disk. Concurrent triggers coalesce into a single bundle. `loggrep
+// diag <bundle>` renders a bundle into the operator-facing incident
+// story; OPERATIONS.md §9 is the runbook.
+//
+// The package is dependency-free (stdlib + internal/obsv) and the hot
+// path — Record on every served request — is one bounded struct copy
+// under a mutex plus a few comparisons.
+package flightrec

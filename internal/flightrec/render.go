@@ -1,0 +1,208 @@
+package flightrec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"loggrep/internal/obsv"
+)
+
+// StageAgg aggregates one span name across every event in a bundle.
+type StageAgg struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// Summary is the machine-readable incident story `loggrep diag -json`
+// emits: the manifest plus the derived views the text story renders.
+type Summary struct {
+	Manifest      Manifest         `json:"manifest"`
+	WindowSeconds int              `json:"window_seconds"`
+	Requests      int              `json:"requests"`
+	Errors        int              `json:"errors"`
+	Partial       int              `json:"partial"`
+	MaxGoroutines int              `json:"max_goroutines,omitempty"`
+	MaxHeapBytes  uint64           `json:"max_heap_bytes,omitempty"`
+	Slowest       []obsv.WideEvent `json:"slowest,omitempty"`
+	Stages        []StageAgg       `json:"stages,omitempty"`
+	Panics        []PanicInfo      `json:"panics,omitempty"`
+}
+
+// maxSlowest bounds the worst-requests table.
+const maxSlowest = 5
+
+// Summary derives the incident story's data from the bundle.
+func (b *Bundle) Summary() Summary {
+	s := Summary{Manifest: b.Manifest, Requests: len(b.Events), Panics: b.Panics}
+	if n := len(b.Metrics); n > 1 {
+		s.WindowSeconds = int((b.Metrics[n-1].UnixMilli - b.Metrics[0].UnixMilli) / 1000)
+	}
+	for _, m := range b.Metrics {
+		if m.Goroutines > s.MaxGoroutines {
+			s.MaxGoroutines = m.Goroutines
+		}
+		if m.HeapInuse > s.MaxHeapBytes {
+			s.MaxHeapBytes = m.HeapInuse
+		}
+	}
+	stages := map[string]*StageAgg{}
+	for i := range b.Events {
+		ev := &b.Events[i]
+		if ev.Status >= 500 || (ev.Status == 0 && ev.Error != "") {
+			s.Errors++
+		}
+		if ev.Partial {
+			s.Partial++
+		}
+		for _, sp := range ev.Spans {
+			a := stages[sp.Name]
+			if a == nil {
+				a = &StageAgg{Name: sp.Name}
+				stages[sp.Name] = a
+			}
+			a.Count++
+			a.TotalNS += sp.DurNS
+			if sp.DurNS > a.MaxNS {
+				a.MaxNS = sp.DurNS
+			}
+		}
+	}
+	for _, a := range stages {
+		s.Stages = append(s.Stages, *a)
+	}
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].TotalNS > s.Stages[j].TotalNS })
+
+	slow := append([]obsv.WideEvent(nil), b.Events...)
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurNS > slow[j].DurNS })
+	if len(slow) > maxSlowest {
+		slow = slow[:maxSlowest]
+	}
+	s.Slowest = slow
+	return s
+}
+
+// Story renders the bundle as the operator-facing incident narrative:
+// header, metrics-timeline sparklines, worst requests, stage breakdown,
+// and recorded panics.
+func (b *Bundle) Story() string {
+	s := b.Summary()
+	var w strings.Builder
+	m := s.Manifest
+	fmt.Fprintf(&w, "flight recorder bundle  trigger=%s  seq=%d\n", m.Trigger, m.Seq)
+	fmt.Fprintf(&w, "  written %s by loggrep %s (%s) %s %s/%s pid %d\n",
+		m.Time, m.Version, m.Commit, m.GoVersion, m.GOOS, m.GOARCH, m.PID)
+
+	if len(b.Metrics) > 0 {
+		fmt.Fprintf(&w, "\nmetrics timeline (%d samples, ~%ds):\n", len(b.Metrics), s.WindowSeconds)
+		gor := make([]float64, len(b.Metrics))
+		heap := make([]float64, len(b.Metrics))
+		reqs := make([]float64, len(b.Metrics))
+		for i, ms := range b.Metrics {
+			gor[i] = float64(ms.Goroutines)
+			heap[i] = float64(ms.HeapInuse) / (1 << 20)
+			for k, d := range ms.CounterDeltas {
+				if strings.HasPrefix(k, "loggrep_http_requests_total") {
+					reqs[i] += float64(d)
+				}
+			}
+		}
+		writeSeries(&w, "goroutines", gor, "%.0f")
+		writeSeries(&w, "heap MiB", heap, "%.1f")
+		writeSeries(&w, "requests/s", reqs, "%.0f")
+	}
+
+	fmt.Fprintf(&w, "\nrequests: %d buffered, %d error(s), %d partial\n", s.Requests, s.Errors, s.Partial)
+	if len(s.Slowest) > 0 && s.Slowest[0].DurNS > 0 {
+		fmt.Fprintf(&w, "\nworst requests:\n")
+		fmt.Fprintf(&w, "  %10s  %6s  %-8s  %-16s  %s\n", "dur", "status", "endpoint", "trace", "command")
+		for _, ev := range s.Slowest {
+			cmd := ev.Command
+			if ev.Source != "" {
+				cmd = ev.Source + ": " + cmd
+			}
+			if len(cmd) > 48 {
+				cmd = cmd[:45] + "..."
+			}
+			fmt.Fprintf(&w, "  %10s  %6d  %-8s  %-16s  %s\n",
+				time.Duration(ev.DurNS).Round(time.Microsecond), ev.Status, ev.Endpoint, ev.TraceID, cmd)
+		}
+	}
+
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(&w, "\nstage breakdown (across %d events):\n", s.Requests)
+		fmt.Fprintf(&w, "  %-28s %8s %12s %12s\n", "stage", "count", "total", "max")
+		for _, a := range s.Stages {
+			fmt.Fprintf(&w, "  %-28s %8d %12s %12s\n", a.Name, a.Count,
+				time.Duration(a.TotalNS).Round(time.Microsecond),
+				time.Duration(a.MaxNS).Round(time.Microsecond))
+		}
+	}
+
+	if len(s.Panics) > 0 {
+		fmt.Fprintf(&w, "\npanics: %d\n", len(s.Panics))
+		for _, p := range s.Panics {
+			fmt.Fprintf(&w, "  %s  endpoint=%s  %s\n", p.Time, p.Endpoint, p.Value)
+		}
+	}
+	return w.String()
+}
+
+// sparkWidth is how many columns a timeline sparkline gets.
+const sparkWidth = 60
+
+// writeSeries prints one labeled sparkline row with its min/max.
+func writeSeries(w *strings.Builder, label string, vals []float64, valFmt string) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Fprintf(w, "  %-12s %s  min "+valFmt+"  max "+valFmt+"\n",
+		label, sparkline(vals, sparkWidth), lo, hi)
+}
+
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline compresses vals into width columns (max value per column)
+// scaled to eight block characters.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	cols := make([]float64, width)
+	for i, v := range vals {
+		c := i * width / len(vals)
+		if v > cols[c] {
+			cols[c] = v
+		}
+	}
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range cols {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		out[i] = sparkBlocks[idx]
+	}
+	return string(out)
+}

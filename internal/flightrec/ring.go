@@ -1,0 +1,157 @@
+package flightrec
+
+import (
+	"sync"
+
+	"loggrep/internal/obsv"
+)
+
+// Per-event caps applied before an event enters the ring, so the ring's
+// worst-case footprint is capacity × a small constant regardless of what
+// queries clients send.
+const (
+	maxCommandBytes = 512
+	maxErrorBytes   = 256
+	maxSpans        = 32
+)
+
+// ring is a fixed-capacity circular buffer. Add overwrites the oldest
+// entry once full; Snapshot returns the contents oldest-first. All
+// methods are safe for concurrent use.
+type ring[T any] struct {
+	mu    sync.Mutex
+	slots []T
+	next  int // slot the next Add writes
+	full  bool
+	total int64
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{slots: make([]T, capacity)}
+}
+
+func (r *ring[T]) add(v T) {
+	r.mu.Lock()
+	r.slots[r.next] = v
+	r.next++
+	if r.next == len(r.slots) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *ring[T]) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.slots)
+	}
+	return r.next
+}
+
+func (r *ring[T]) snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]T(nil), r.slots[:r.next]...)
+	}
+	out := make([]T, 0, len(r.slots))
+	out = append(out, r.slots[r.next:]...)
+	out = append(out, r.slots[:r.next]...)
+	return out
+}
+
+// EventRing buffers the most recent wide events. Events are stored as
+// bounded copies (command/error strings and span lists truncated), so
+// memory is capped at capacity × ~1KB and callers may keep mutating
+// their event after Add returns.
+type EventRing struct {
+	r *ring[obsv.WideEvent]
+}
+
+// NewEventRing returns a ring holding the last capacity events
+// (minimum 1).
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{r: newRing[obsv.WideEvent](capacity)}
+}
+
+// Add records a bounded copy of ev. Zero-allocation: the copy lands
+// directly in a preallocated slot.
+func (e *EventRing) Add(ev *obsv.WideEvent) {
+	if e == nil || ev == nil {
+		return
+	}
+	v := *ev
+	if len(v.Command) > maxCommandBytes {
+		v.Command = v.Command[:maxCommandBytes]
+	}
+	if len(v.Error) > maxErrorBytes {
+		v.Error = v.Error[:maxErrorBytes]
+	}
+	if len(v.Spans) > maxSpans {
+		v.Spans = v.Spans[:maxSpans:maxSpans]
+	}
+	e.r.add(v)
+}
+
+// Len returns how many events are buffered (≤ capacity).
+func (e *EventRing) Len() int { return e.r.len() }
+
+// Cap returns the ring capacity.
+func (e *EventRing) Cap() int { return len(e.r.slots) }
+
+// Total returns how many events have ever been added.
+func (e *EventRing) Total() int64 {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	return e.r.total
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (e *EventRing) Snapshot() []obsv.WideEvent { return e.r.snapshot() }
+
+// MetricSample is one per-second observation of process health: Go
+// runtime stats plus the per-interval delta of every registry counter
+// that moved. Zero-delta counters are omitted, so an idle second costs a
+// few dozen bytes.
+type MetricSample struct {
+	UnixMilli     int64            `json:"unix_ms"`
+	Goroutines    int              `json:"goroutines"`
+	HeapInuse     uint64           `json:"heap_inuse_bytes"`
+	GCPauseNS     uint64           `json:"gc_pause_total_ns"`
+	NumGC         uint32           `json:"num_gc"`
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+// MetricsRing buffers the most recent metric samples (one per sample
+// interval; ~10 minutes at the default second cadence).
+type MetricsRing struct {
+	r *ring[MetricSample]
+}
+
+// NewMetricsRing returns a ring holding the last capacity samples
+// (minimum 1).
+func NewMetricsRing(capacity int) *MetricsRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MetricsRing{r: newRing[MetricSample](capacity)}
+}
+
+// Add records one sample.
+func (m *MetricsRing) Add(s MetricSample) {
+	if m == nil {
+		return
+	}
+	m.r.add(s)
+}
+
+// Len returns how many samples are buffered (≤ capacity).
+func (m *MetricsRing) Len() int { return m.r.len() }
+
+// Snapshot returns the buffered samples oldest-first.
+func (m *MetricsRing) Snapshot() []MetricSample { return m.r.snapshot() }

@@ -246,13 +246,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
-// metric is one registered metric: exactly one of c/h is set.
+// metric is one registered metric: exactly one of c/h/g is set.
 type metric struct {
 	name string // full name, possibly with a {label="value"} suffix
 	help string
 	unit string
 	c    *Counter
 	h    *Histogram
+	g    func() int64
 }
 
 // family splits the metric name into its Prometheus family name and label
@@ -310,6 +311,33 @@ func (r *Registry) Histogram(name, unit, help string) *Histogram {
 	return h
 }
 
+// Gauge registers a callback gauge: fn is invoked at export time, so the
+// value is always the instant of the scrape (runtime stats, ring fill
+// levels). First registration wins; later calls with the same name are
+// no-ops. fn must be safe for concurrent use.
+func (r *Registry) Gauge(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		return
+	}
+	r.metrics[name] = &metric{name: name, help: help, g: fn}
+}
+
+// CounterValues snapshots every registered counter's current value —
+// the delta feed for the flight recorder's per-second metrics ring.
+func (r *Registry) CounterValues() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.metrics))
+	for name, m := range r.metrics {
+		if m.c != nil {
+			out[name] = m.c.Value()
+		}
+	}
+	return out
+}
+
 // sorted returns the registered metrics in name order.
 func (r *Registry) sorted() []*metric {
 	r.mu.RLock()
@@ -332,12 +360,14 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Reset zeroes every registered metric (tests and benchmark harnesses).
+// Reset zeroes every registered counter and histogram (tests and
+// benchmark harnesses). Gauges are callbacks and have no state to reset.
 func (r *Registry) Reset() {
 	for _, m := range r.sorted() {
-		if m.c != nil {
+		switch {
+		case m.c != nil:
 			m.c.reset()
-		} else {
+		case m.h != nil:
 			m.h.reset()
 		}
 	}
@@ -350,6 +380,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	for _, m := range r.sorted() {
 		if m.c != nil {
 			out[m.name] = m.c.Value()
+			continue
+		}
+		if m.g != nil {
+			out[m.name] = m.g()
 			continue
 		}
 		s := m.h.Snapshot()
@@ -375,8 +409,11 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				}
 			}
 			typ := "counter"
-			if m.h != nil {
+			switch {
+			case m.h != nil:
 				typ = "summary"
+			case m.g != nil:
+				typ = "gauge"
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
 				return err
@@ -385,6 +422,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 		if m.c != nil {
 			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if m.g != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g()); err != nil {
 				return err
 			}
 			continue

@@ -181,6 +181,58 @@ func TestRegistryReuseAndReset(t *testing.T) {
 	}
 }
 
+func TestRegistryGauge(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.Gauge("g_now", "a live value", func() int64 { return v })
+	r.Gauge("g_now", "second registration ignored", func() int64 { return -1 })
+	r.Counter("c_total", "c").Add(3)
+
+	var prom bytes.Buffer
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE g_now gauge", "g_now 7"} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom output missing %q:\n%s", want, prom.String())
+		}
+	}
+
+	v = 42 // callback gauges track the live value, not a stored one
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(js.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["g_now"] != 42 {
+		t.Errorf("g_now = %d, want 42", m["g_now"])
+	}
+
+	r.Reset() // must not panic on gauges, and must leave them readable
+	if got := r.CounterValues(); len(got) != 1 || got["c_total"] != 0 {
+		t.Errorf("CounterValues after Reset = %v, want c_total=0 only", got)
+	}
+}
+
+func TestCounterValuesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(2)
+	r.Counter("b_total", "b").Add(5)
+	r.Histogram("h_ns", "ns", "h").Observe(1)
+	got := r.CounterValues()
+	if len(got) != 2 || got["a_total"] != 2 || got["b_total"] != 5 {
+		t.Fatalf("CounterValues = %v", got)
+	}
+	// Snapshot is a copy: mutating the map must not touch the registry.
+	got["a_total"] = 99
+	if r.CounterValues()["a_total"] != 2 {
+		t.Error("CounterValues returned a live reference")
+	}
+}
+
 func TestTraceNilSafety(t *testing.T) {
 	var tr *Trace
 	tr.Attr("k", 1)

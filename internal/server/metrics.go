@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"loggrep/internal/obsv"
@@ -24,7 +27,46 @@ var (
 		"Requests refused with 503 while the server was draining")
 	mShutdowns = obsv.Default.Counter("loggrep_shutdowns_total",
 		"Graceful shutdowns initiated by signal")
+	mPanics = obsv.Default.Counter("loggrep_http_panics_total",
+		"Handler panics recovered by instrument (each also triggers a flight-recorder dump)")
 )
+
+// processStart anchors the uptime gauge. Package-level rather than
+// per-Server because obsv.Default is process-global and gauges register
+// first-wins.
+var processStart = time.Now()
+
+var runtimeGaugesOnce sync.Once
+
+// registerRuntimeGauges installs the Go runtime gauges in obsv.Default so
+// they show up in both the Prometheus text and JSON views of /metrics.
+// They read live values at scrape time via callbacks; ReadMemStats on a
+// scrape path is cheap enough at /metrics cadence. Every name here is
+// documented in OPERATIONS.md; keep the two in sync.
+func registerRuntimeGauges() {
+	runtimeGaugesOnce.Do(func() {
+		obsv.Default.Gauge("loggrep_goroutines",
+			"Live goroutine count", func() int64 {
+				return int64(runtime.NumGoroutine())
+			})
+		obsv.Default.Gauge("loggrep_heap_inuse_bytes",
+			"Bytes in in-use heap spans", func() int64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return int64(ms.HeapInuse)
+			})
+		obsv.Default.Gauge("loggrep_gc_pause_ns_total",
+			"Cumulative GC stop-the-world pause time", func() int64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return int64(ms.PauseTotalNs)
+			})
+		obsv.Default.Gauge("loggrep_process_uptime_seconds",
+			"Seconds since process start", func() int64 {
+				return int64(time.Since(processStart).Seconds())
+			})
+	})
+}
 
 // traceIDKey carries the request's trace id in its context; instrument
 // installs it, traceIDFrom reads it back.
@@ -48,7 +90,12 @@ func traceIDFrom(ctx context.Context) string {
 // response header, stored in the request context for wide events, and
 // attached to the latency observation as the histogram bucket's exemplar —
 // so a slow observation on /metrics can be joined back to its wide event.
-func instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+//
+// Finally it is the server's panic boundary: a panicking handler is
+// recovered, counted, handed (with its stack) to the flight recorder —
+// which triggers a diagnostic bundle — and answered with a 500 instead of
+// tearing down the connection.
+func (sv *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	reqs := obsv.Default.Counter(
 		fmt.Sprintf(`loggrep_http_requests_total{endpoint=%q}`, endpoint),
 		"HTTP requests served, by endpoint")
@@ -60,9 +107,16 @@ func instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("X-Trace-Id", id)
 		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
 		t0 := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				mPanics.Inc()
+				sv.FlightRec.RecordPanic(endpoint, v, debug.Stack())
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+			reqs.Inc()
+			lat.ObserveExemplar(time.Since(t0).Nanoseconds(), id)
+		}()
 		fn(w, r)
-		reqs.Inc()
-		lat.ObserveExemplar(time.Since(t0).Nanoseconds(), id)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"loggrep/internal/archive"
 	"loggrep/internal/core"
+	"loggrep/internal/flightrec"
 	"loggrep/internal/obsv"
 	"loggrep/internal/version"
 )
@@ -133,6 +135,11 @@ type Server struct {
 	// and count request (loggrepd wires -slowlog here). Setting it forces
 	// traced query execution so the events carry per-stage span timings.
 	Events *obsv.EventLog
+	// FlightRec, when set, buffers every request's wide event in the
+	// flight recorder's ring and evaluates its dump triggers. Like
+	// Events, setting it forces traced query execution. All recorder
+	// methods are nil-safe, so handlers call through unconditionally.
+	FlightRec *flightrec.Recorder
 
 	mu      sync.RWMutex
 	sources map[string]*source
@@ -189,14 +196,17 @@ func (sv *Server) Load(name string, data []byte) error {
 // per-endpoint request/latency metrics (see instrument).
 func (sv *Server) Handler() http.Handler {
 	sv.initAdmission()
+	registerRuntimeGauges()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", instrument("healthz", sv.handleHealthz))
-	mux.HandleFunc("/metrics", instrument("metrics", handleMetrics))
-	mux.HandleFunc("/v1/sources", instrument("sources", sv.handleSources))
-	mux.HandleFunc("/v1/sources/", instrument("source", sv.handleSource))
-	mux.HandleFunc("/v1/query", instrument("query", sv.handleQuery))
-	mux.HandleFunc("/v1/count", instrument("count", sv.handleCount))
-	mux.HandleFunc("/v1/entry", instrument("entry", sv.handleEntry))
+	mux.HandleFunc("/healthz", sv.instrument("healthz", sv.handleHealthz))
+	mux.HandleFunc("/metrics", sv.instrument("metrics", handleMetrics))
+	mux.HandleFunc("/v1/sources", sv.instrument("sources", sv.handleSources))
+	mux.HandleFunc("/v1/sources/", sv.instrument("source", sv.handleSource))
+	mux.HandleFunc("/v1/query", sv.instrument("query", sv.handleQuery))
+	mux.HandleFunc("/v1/count", sv.instrument("count", sv.handleCount))
+	mux.HandleFunc("/v1/entry", sv.instrument("entry", sv.handleEntry))
+	mux.HandleFunc("/debug/flightrec", sv.instrument("flightrec", sv.handleFlightRec))
+	mux.HandleFunc("/debug/dump", sv.instrument("dump", sv.handleDump))
 	if sv.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -217,15 +227,56 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// moment a shutdown begins.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"sources":        n,
-		"uptime_seconds": int64(time.Since(sv.start).Seconds()),
-		"version":        version.String(),
+		"status":           status,
+		"sources":          n,
+		"uptime_seconds":   int64(time.Since(sv.start).Seconds()),
+		"version":          version.String(),
+		"goroutines":       runtime.NumGoroutine(),
+		"heap_inuse_bytes": ms.HeapInuse,
+		"gc_pause_ns":      ms.PauseTotalNs,
 	})
 }
 
-type sourceInfo struct {
+// handleFlightRec serves the flight recorder's live status; with the
+// recorder disabled it reports {"enabled": false} rather than 404 so
+// probes can tell "off" from "wrong URL".
+func (sv *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, sv.FlightRec.Status())
+}
+
+// handleDump forces a diagnostic bundle (POST /debug/dump). Coalescing and
+// cooldown suppression answer 429: the bundle the caller wants either
+// already exists or is being written right now.
+func (sv *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if sv.FlightRec == nil {
+		httpError(w, http.StatusServiceUnavailable, "flight recorder disabled")
+		return
+	}
+	path, err := sv.FlightRec.TriggerDump("manual")
+	switch {
+	case errors.Is(err, flightrec.ErrDumpInProgress), errors.Is(err, flightrec.ErrCooldown):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"bundle": path})
+	}
+}
+
+// SourceInfo describes one loaded source: the /v1/sources payload and the
+// live-state summary stamped into flight-recorder bundles.
+type SourceInfo struct {
 	Name    string `json:"name"`
 	Kind    string `json:"kind"`
 	Lines   int    `json:"lines"`
@@ -234,16 +285,15 @@ type sourceInfo struct {
 	RawSize int    `json:"raw_bytes,omitempty"`
 }
 
-func (sv *Server) handleSources(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
+// SourcesSummary snapshots the loaded sources, name-sorted. loggrepd wires
+// it as the flight recorder's StateFn so every bundle records what data
+// the process was serving.
+func (sv *Server) SourcesSummary() []SourceInfo {
 	sv.mu.RLock()
 	defer sv.mu.RUnlock()
-	out := make([]sourceInfo, 0, len(sv.sources))
+	out := make([]SourceInfo, 0, len(sv.sources))
 	for name, s := range sv.sources {
-		info := sourceInfo{Name: name, Kind: "box", Lines: s.numLines(), Bytes: s.bytes}
+		info := SourceInfo{Name: name, Kind: "box", Lines: s.numLines(), Bytes: s.bytes}
 		if s.arch != nil {
 			info.Kind = "archive"
 			info.Blocks = s.arch.NumBlocks()
@@ -252,7 +302,15 @@ func (sv *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (sv *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, sv.SourcesSummary())
 }
 
 func (sv *Server) handleSource(w http.ResponseWriter, r *http.Request) {
@@ -370,11 +428,11 @@ func (sv *Server) queryError(w http.ResponseWriter, err error) int {
 	}
 }
 
-// startEvent begins the wide event for one request, or returns nil when the
-// wide-event log is disabled; every downstream helper is nil-safe so the
-// handlers stay branch-free.
+// startEvent begins the wide event for one request, or returns nil when
+// neither the wide-event log nor the flight recorder wants it; every
+// downstream helper is nil-safe so the handlers stay branch-free.
 func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
-	if sv.Events == nil {
+	if sv.Events == nil && sv.FlightRec == nil {
 		return nil
 	}
 	return &obsv.WideEvent{
@@ -390,8 +448,9 @@ func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
 }
 
 // finishEvent stamps the event's outcome — wall-clock duration (what the
-// slowlog threshold applies to), admission state, final status — and emits
-// it through the log's threshold-or-sampled policy.
+// slowlog threshold applies to), admission state, final status — then emits
+// it through the log's threshold-or-sampled policy and buffers it in the
+// flight recorder (which may trigger a dump).
 func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, status int, errMsg string) {
 	if ev == nil {
 		return
@@ -400,7 +459,10 @@ func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, 
 	ev.Queued, ev.Shed = adm.queued, adm.shed
 	ev.Status = status
 	ev.Error = errMsg
-	sv.Events.Emit(ev)
+	if sv.Events != nil {
+		sv.Events.Emit(ev)
+	}
+	sv.FlightRec.Record(ev)
 }
 
 func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -68,7 +68,7 @@ func TestHealthz(t *testing.T) {
 
 func TestListSources(t *testing.T) {
 	ts, _ := newTestServer(t)
-	var out []sourceInfo
+	var out []SourceInfo
 	getJSON(t, ts.URL+"/v1/sources", http.StatusOK, &out)
 	if len(out) != 2 {
 		t.Fatalf("sources = %+v", out)
