@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"loggrep"
 	"loggrep/internal/benchfmt"
 	"loggrep/internal/costmodel"
 	"loggrep/internal/harness"
@@ -159,6 +161,10 @@ func main() {
 		}
 		bf := benchfmt.New(*exp, benchfmt.Config{Lines: *lines, Seed: *seed, Reps: *reps, Class: *class})
 		addFig7Metrics(bf, fig7Rows)
+		if err := addIndexMetrics(bf, logs, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "logbench: index metrics:", err)
+			os.Exit(1)
+		}
 		if err := benchfmt.Write(*jsonOut, bf); err != nil {
 			fmt.Fprintln(os.Stderr, "logbench:", err)
 			os.Exit(1)
@@ -199,6 +205,71 @@ func addFig7Metrics(f *benchfmt.File, rows []harness.Fig7Row) {
 		f.Add(name+"/query_total_s", a.querySec, "s", true)
 		f.AddExact(name+"/matches_total", a.matches, "matches")
 	}
+}
+
+// addIndexMetrics measures the archive block-skipping index on the first
+// workload log: storage overhead of the index sections, the fraction of
+// blocks skipped before decompression on a selective (absent-keyword)
+// query, and the wall-clock cost of the paper query with the index on
+// versus forced full scan. The overhead and skip-rate numbers are
+// deterministic for a fixed workload; the latencies are environment-bound
+// and carry informational tolerances in CI.
+func addIndexMetrics(f *benchfmt.File, logs []loggen.LogType, cfg harness.Config) error {
+	lt := logs[0]
+	stream := lt.Block(cfg.Seed, cfg.LinesPerLog)
+	opts := loggrep.DefaultArchiveOptions()
+	opts.Workers = 4
+	if opts.BlockBytes > len(stream)/16 {
+		opts.BlockBytes = len(stream) / 16 // force a multi-block archive
+	}
+	data, err := loggrep.CompressArchive(stream, opts)
+	if err != nil {
+		return err
+	}
+	indexed, err := loggrep.OpenArchive(data)
+	if err != nil {
+		return err
+	}
+	fullscan, err := loggrep.OpenArchive(data)
+	if err != nil {
+		return err
+	}
+	fullscan.SetIndexEnabled(false)
+
+	st := indexed.IndexStats()
+	f.Add("index/overhead_ratio", float64(st.TotalBytes())/float64(len(data)), "ratio", true)
+
+	p0, b0 := indexed.IndexSkipped()
+	if _, err := indexed.Query("zzz_absent_zzz", 4); err != nil {
+		return err
+	}
+	p1, b1 := indexed.IndexSkipped()
+	f.Add("index/skip_rate", float64((p1-p0)+(b1-b0))/float64(indexed.NumBlocks()), "ratio", false)
+
+	minQuery := func(a *loggrep.Archive) (float64, error) {
+		best := 0.0
+		for r := 0; r < cfg.QueryReps || r == 0; r++ {
+			start := time.Now()
+			if _, err := a.Query(lt.Query, 4); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start).Seconds(); r == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	ti, err := minQuery(indexed)
+	if err != nil {
+		return err
+	}
+	tf, err := minQuery(fullscan)
+	if err != nil {
+		return err
+	}
+	f.Add("index/query_indexed_s", ti, "s", true)
+	f.Add("index/query_fullscan_s", tf, "s", true)
+	return nil
 }
 
 func pickLogs(class string) []loggen.LogType {

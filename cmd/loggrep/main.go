@@ -164,6 +164,7 @@ func newCompressCmd() *command {
 	sp := fs.Bool("sp", false, "static patterns only (LogGrep-SP)")
 	noPad := fs.Bool("no-pad", false, "disable fixed-length padding")
 	noStamps := fs.Bool("no-stamps", false, "disable capsule stamps")
+	noIndex := fs.Bool("no-index", false, "disable the block-skipping index sections (archive mode)")
 	chunkKB := fs.Int("chunk-kb", 0, "cut capsules into N-KB chunks (0 = whole capsules)")
 	c := &command{
 		name:    "compress",
@@ -192,6 +193,7 @@ func newCompressCmd() *command {
 			aopts.Core = opts
 			aopts.BlockBytes = *blockMB << 20
 			aopts.Workers = *workers
+			aopts.NoIndex = *noIndex
 			data, err = loggrep.CompressArchive(block, aopts)
 			if err != nil {
 				return err
@@ -292,6 +294,11 @@ func (a archFile) Cat(strict bool) ([]string, []loggrep.ArchiveBlockError, error
 func (a archFile) Stat() string {
 	s := fmt.Sprintf("format: archive\nblocks: %d\nlines: %d\nraw bytes: %d\ncompressed bytes: %d",
 		a.a.NumBlocks(), a.a.NumLines(), a.a.RawBytes(), a.size)
+	if a.a.HasIndex() {
+		ix := a.a.IndexStats()
+		s += fmt.Sprintf("\nindex bytes: %d (blooms %d, postings %d, %d tokens)",
+			ix.TotalBytes(), ix.BloomBytes, ix.PostingsBytes, ix.Tokens)
+	}
 	if d := a.a.Damage(); len(d) > 0 {
 		s += fmt.Sprintf("\ndamaged regions: %d", len(d))
 	}
@@ -358,6 +365,7 @@ func newQueryCmd() *command {
 	var trace traceFlag
 	fs.Var(&trace, "trace", "print a per-stage span breakdown to stderr; -trace=json emits one wide-event JSON line instead")
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+	noIndex := fs.Bool("no-index", false, "ignore block-skipping index sections, always full-scan (archives)")
 	c := &command{
 		name:    "query",
 		args:    "<file.lgrep> <query command>",
@@ -371,6 +379,11 @@ func newQueryCmd() *command {
 		f, err := openAny(fs.Arg(0))
 		if err != nil {
 			return err
+		}
+		if *noIndex {
+			if af, ok := f.(archFile); ok {
+				af.a.SetIndexEnabled(false)
+			}
 		}
 		ctx := context.Background()
 		if *timeout > 0 {

@@ -22,6 +22,11 @@
 // in-flight queries get half of -shutdown-grace to finish, then are
 // cancelled; a drained server exits 0.
 //
+// Archive sources consult their embedded block-skipping indexes (token
+// postings + per-block bloom filters) before decompressing anything;
+// -no-index turns that off so every query full-scans. Results are
+// identical either way — the index only prunes, never filters matches.
+//
 // Forensics: -slowlog <dur> writes one wide JSON event per slow request to
 // stderr (0 logs every request); -slowlog-sample N additionally emits every
 // Nth request so a healthy baseline stays visible; -slowlog-file redirects
@@ -79,6 +84,7 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 20*time.Second, "grace period for draining in-flight queries on SIGTERM")
 	maxScanMB := flag.Int64("max-scan-mb", 0, "per-query cap on scanned megabytes, exceeding returns partial results (0 = unlimited)")
 	maxDecomp := flag.Int64("max-decompressions", 0, "per-query cap on capsule decompressions, exceeding returns partial results (0 = unlimited)")
+	noIndex := flag.Bool("no-index", false, "make archive sources ignore block-skipping index sections, always full-scan")
 	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
 	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
 	slowlogFile := flag.String("slowlog-file", "", "write slowlog events to this rotating file instead of stderr (implies -slowlog 0 unless set)")
@@ -106,6 +112,7 @@ func main() {
 	sv.QueryTimeout = *queryTimeout
 	sv.MaxTimeout = *maxTimeout
 	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
+	sv.DisableIndex = *noIndex
 	if *slowlog >= 0 || *slowlogSample > 0 || *slowlogFile != "" {
 		threshold := *slowlog
 		if threshold < 0 {

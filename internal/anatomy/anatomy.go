@@ -106,6 +106,17 @@ type KindAgg struct {
 	PaddingBytes int    `json:"padding_bytes"`
 }
 
+// IndexStats describes an archive's optional block-skipping index
+// sections (internal/blockindex): the per-block gram blooms, the token
+// postings table, and any sections that were present but damaged.
+type IndexStats struct {
+	BloomBytes    int `json:"bloom_bytes"`
+	PostingsBytes int `json:"postings_bytes"`
+	Blocks        int `json:"blocks"`
+	Tokens        int `json:"tokens"`
+	Damaged       int `json:"damaged_sections,omitempty"`
+}
+
 // Report is the full anatomy of a box or archive file.
 type Report struct {
 	// Format is "box", "archive-v1", or "archive-v2".
@@ -122,6 +133,9 @@ type Report struct {
 	PaddingBytes   int          `json:"padding_bytes"`
 	PayloadBytes   int          `json:"payload_bytes"`
 	Blocks         []BlockStats `json:"blocks"`
+	// Index describes the block-skipping index sections; nil when the
+	// file has none (bare box, v1 archive, -no-index writer).
+	Index *IndexStats `json:"index,omitempty"`
 }
 
 // Inspect decodes a CapsuleBox or archive and returns its anatomy.
@@ -179,9 +193,29 @@ func Inspect(data []byte) (*Report, error) {
 		}
 		rep.Blocks = append(rep.Blocks, blk)
 	}
-	// Everything outside the block payloads is frame overhead: magic,
-	// headers, terminator — plus any damaged regions being skipped over.
-	rep.finish(len(data) - boxBytes)
+	// Everything outside the block payloads and the index sections is
+	// frame overhead: magic, headers, terminator — plus any damaged
+	// regions being skipped over. Healthy index sections get their own
+	// stage so the packed column still sums exactly to the file size.
+	ixStats := a.IndexStats()
+	indexBytes := ixStats.TotalBytes()
+	rep.finish(len(data) - boxBytes - indexBytes)
+	if indexBytes > 0 || ixStats.Damaged > 0 {
+		rep.Index = &IndexStats{
+			BloomBytes:    ixStats.BloomBytes,
+			PostingsBytes: ixStats.PostingsBytes,
+			Blocks:        ixStats.Blocks,
+			Tokens:        ixStats.Tokens,
+			Damaged:       ixStats.Damaged,
+		}
+	}
+	if indexBytes > 0 {
+		rep.Stages = append(rep.Stages, StageBytes{
+			Stage:       "index",
+			PackedBytes: indexBytes,
+			Note:        "block-skipping index: per-block gram blooms + token postings",
+		})
+	}
 	return rep, nil
 }
 

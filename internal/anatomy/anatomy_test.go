@@ -110,6 +110,70 @@ func TestInspectArchiveFixture(t *testing.T) {
 	}
 }
 
+// TestInspectArchiveIndexAccounting proves the packed-byte partition stays
+// exact with the optional index sections present: the index gets its own
+// stage, and even after a section is damaged (its bytes migrating from the
+// index stage to framing overhead) every file byte is still accounted for
+// exactly once.
+func TestInspectArchiveIndexAccounting(t *testing.T) {
+	lt, ok := loggen.ByName("G")
+	if !ok {
+		t.Fatal("loggen class G missing")
+	}
+	raw := lt.Block(9, 3000)
+	opts := archive.DefaultOptions()
+	opts.BlockBytes = len(raw) / 4
+	arc, err := archive.Compress(raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Inspect(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Index == nil {
+		t.Fatal("indexed archive reports no index stats")
+	}
+	if rep.Index.BloomBytes == 0 || rep.Index.PostingsBytes == 0 || rep.Index.Damaged != 0 {
+		t.Fatalf("unexpected index stats on a fresh archive: %+v", rep.Index)
+	}
+	var indexStage int
+	for _, s := range rep.Stages {
+		if s.Stage == "index" {
+			indexStage = s.PackedBytes
+		}
+	}
+	if want := rep.Index.BloomBytes + rep.Index.PostingsBytes; indexStage != want {
+		t.Fatalf("index stage %d bytes, section stats say %d", indexStage, want)
+	}
+	if got := rep.PackedTotal(); got != len(arc) {
+		t.Fatalf("packed total %d, file is %d bytes", got, len(arc))
+	}
+
+	// Damage one index section: its bytes fall out of the index stage and
+	// into framing overhead, but the partition must stay exact.
+	tailOff, sections, err := archive.IndexSectionRange(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) == 0 {
+		t.Fatal("no index sections located")
+	}
+	mutated := append([]byte(nil), arc...)
+	mutated[tailOff+sections[0].Off+18] ^= 0x10 // first payload byte
+	drep, err := Inspect(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drep.Index == nil || drep.Index.Damaged != 1 {
+		t.Fatalf("damaged section not reported: %+v", drep.Index)
+	}
+	if got := drep.PackedTotal(); got != len(mutated) {
+		t.Fatalf("packed total %d after index damage, file is %d bytes", got, len(mutated))
+	}
+}
+
 // TestInspectRejectsGarbage keeps Inspect a clean error on non-LogGrep data.
 func TestInspectRejectsGarbage(t *testing.T) {
 	if _, err := Inspect([]byte("not a box")); err == nil {

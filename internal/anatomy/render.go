@@ -41,6 +41,14 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "padding overhead: %d of %d payload bytes (%.1f%%)\n",
 			r.PaddingBytes, r.PayloadBytes, 100*float64(r.PaddingBytes)/float64(r.PayloadBytes))
 	}
+	if r.Index != nil {
+		fmt.Fprintf(&b, "index: blooms %d B + postings %d B over %d block(s), %d vocabulary tokens",
+			r.Index.BloomBytes, r.Index.PostingsBytes, r.Index.Blocks, r.Index.Tokens)
+		if r.Index.Damaged > 0 {
+			fmt.Fprintf(&b, ", %d damaged section(s)", r.Index.Damaged)
+		}
+		b.WriteByte('\n')
+	}
 
 	for _, blk := range r.Blocks {
 		if len(r.Blocks) > 1 || blk.Stamp != "" {

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"loggrep/internal/blockindex"
 	"loggrep/internal/core"
 	"loggrep/internal/rtpattern"
 )
@@ -45,6 +46,9 @@ type Options struct {
 	// FormatV1 writes the legacy checksum-free v1 stream, for
 	// compatibility testing and for measuring checksum overhead.
 	FormatV1 bool
+	// NoIndex disables the block-skipping index sections normally
+	// appended after the terminator (v1 streams never carry them).
+	NoIndex bool
 }
 
 // DefaultOptions mirrors the production setting.
@@ -79,6 +83,9 @@ type Writer struct {
 	closed   bool
 	wg       sync.WaitGroup
 	collDone chan struct{}
+	// index accumulates block scans for the skip-index sections Close
+	// appends after the terminator; nil when disabled or FormatV1.
+	index *blockindex.Builder
 }
 
 type job struct {
@@ -90,6 +97,7 @@ type result struct {
 	seq  int
 	meta blockMeta
 	box  []byte
+	scan *blockindex.BlockScan // nil when indexing is off
 }
 
 // NewWriter starts a concurrent archive writer. Close must be called to
@@ -116,6 +124,9 @@ func NewWriter(w io.Writer, opts Options) (*Writer, error) {
 		pending:  make(map[int]result),
 		collDone: make(chan struct{}),
 	}
+	if !opts.FormatV1 && !opts.NoIndex {
+		aw.index = blockindex.NewBuilder()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		aw.wg.Add(1)
 		go aw.worker()
@@ -133,7 +144,11 @@ func (aw *Writer) worker() {
 			rawBytes: len(j.block),
 			stamp:    blockStamp(j.block),
 		}
-		aw.done <- result{seq: j.seq, meta: meta, box: box}
+		var scan *blockindex.BlockScan
+		if aw.index != nil {
+			scan = blockindex.ScanBlock(j.block)
+		}
+		aw.done <- result{seq: j.seq, meta: meta, box: box, scan: scan}
 	}
 }
 
@@ -154,6 +169,9 @@ func (aw *Writer) collector() {
 			delete(aw.pending, aw.next)
 			if aw.werr == nil {
 				aw.werr = aw.writeFrame(next.meta, next.box)
+			}
+			if aw.index != nil && next.scan != nil {
+				aw.index.Add(uint64(aw.lines), next.meta.numLines, len(next.box), next.scan)
 			}
 			aw.lines += next.meta.numLines
 			aw.next++
@@ -282,8 +300,23 @@ func (aw *Writer) Close() error {
 	}
 	// The v2 terminator is a checksummed empty frame carrying the total
 	// line count, so truncation at a frame boundary is detectable.
-	_, err = aw.w.Write(encodeHeader(blockMeta{}, lines, nil))
-	return err
+	if _, err = aw.w.Write(encodeHeader(blockMeta{}, lines, nil)); err != nil {
+		return err
+	}
+	// Index sections ride after the terminator: readers that predate them
+	// (or find them damaged) stop at the terminator and scan every block.
+	if aw.index != nil {
+		if sections := aw.index.Sections(); len(sections) > 0 {
+			if _, err = aw.w.Write(sections); err != nil {
+				return err
+			}
+			mArchiveIndexBytes.Add(int64(len(sections)))
+			if aw.index.VocabOverflowed() {
+				mArchiveIndexVocabOverflow.Inc()
+			}
+		}
+	}
+	return nil
 }
 
 // Compress is the convenience one-shot form: the whole stream in memory.

@@ -144,6 +144,9 @@ func TestArchiveBlockStampSkipping(t *testing.T) {
 	if a.NumBlocks() < 2 {
 		t.Fatalf("blocks = %d", a.NumBlocks())
 	}
+	// The block-skipping index would eliminate the digit blocks first;
+	// turn it off so the stamp layer is what this test exercises.
+	a.SetIndexEnabled(false)
 	res, err := a.Query("alpha", 2)
 	if err != nil {
 		t.Fatal(err)
@@ -195,14 +198,33 @@ func TestArchiveCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	// v2 contract: truncation never fails Open outright, but it must never
-	// go unnoticed either — every cut before the end surfaces as damage.
-	for cut := len(Magic); cut < len(data); cut++ {
+	// go unnoticed either — every cut before the end of the terminator
+	// frame surfaces as damage. Bytes past the terminator are optional
+	// index sections: losing them degrades queries to full scans, and must
+	// NOT be reported as data damage.
+	tailOff, _, err := IndexSectionRange(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailOff < 0 || tailOff >= len(data) {
+		t.Fatalf("expected index sections after the terminator (tailOff %d, len %d)", tailOff, len(data))
+	}
+	for cut := len(Magic); cut < tailOff; cut++ {
 		a, err := Open(data[:cut])
 		if err != nil {
 			continue
 		}
 		if len(a.Damage()) == 0 && a.Verify(true) == nil {
 			t.Fatalf("truncation at %d undetected", cut)
+		}
+	}
+	for cut := tailOff; cut < len(data); cut++ {
+		a, err := Open(data[:cut])
+		if err != nil {
+			t.Fatalf("index-region truncation at %d failed Open: %v", cut, err)
+		}
+		if len(a.Damage()) != 0 || a.Verify(true) != nil {
+			t.Fatalf("index-region truncation at %d misreported as data damage", cut)
 		}
 	}
 	a, err := Open(data)

@@ -19,6 +19,12 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	if err != nil {
 		f.Fatal(err)
 	}
+	opts.NoIndex = true
+	noIx, err := Compress(stream, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	opts.NoIndex = false
 	opts.FormatV1 = true
 	v1, err := Compress(stream, opts)
 	if err != nil {
@@ -28,13 +34,19 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	flipped[len(flipped)/3] ^= 0x10
 	headerHit := append([]byte(nil), v2...)
 	headerHit[len(Magic)+4] ^= 0x01
+	indexHit := append([]byte(nil), v2...)
+	if tailOff, _, err := IndexSectionRange(indexHit); err == nil && tailOff >= 0 && tailOff < len(indexHit) {
+		indexHit[tailOff+(len(indexHit)-tailOff)/2] ^= 0x20
+	}
 	return [][]byte{
-		v2,
+		v2, // carries index sections after the terminator
 		v1,
+		noIx,           // v2 without index sections
 		v2[:len(v2)/2], // truncated mid-stream
 		v2[:len(v2)-1], // terminator clipped
 		flipped,        // payload or header bit flip
 		headerHit,      // first frame header bit flip
+		indexHit,       // index tail bit flip
 		[]byte(Magic),
 		[]byte(MagicV1),
 		nil,

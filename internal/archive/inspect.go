@@ -3,6 +3,7 @@ package archive
 import (
 	"context"
 
+	"loggrep/internal/blockindex"
 	"loggrep/internal/core"
 	"loggrep/internal/query"
 	"loggrep/internal/rtpattern"
@@ -48,8 +49,41 @@ func (a *Archive) Explain(command string) (*core.Explain, error) {
 		return nil, err
 	}
 	agg := &core.Explain{Command: command, NumLines: a.numLines, Blocks: len(a.blocks)}
+	// Mirror queryTraced's index funnel so the explanation reports the
+	// same pruning a real query would get.
+	var plan *blockindex.Plan
+	switch {
+	case a.indexDisabled.Load():
+		agg.IndexState = "disabled"
+	case a.index.Empty():
+		agg.IndexState = "absent"
+	default:
+		if p := a.index.NewPlan(expr); !p.Filterable {
+			agg.IndexState = "not-filterable"
+		} else {
+			plan = p
+			switch {
+			case p.UsedPostings && p.UsedBlooms:
+				agg.IndexState = "postings+blooms"
+			case p.UsedPostings:
+				agg.IndexState = "postings"
+			default:
+				agg.IndexState = "blooms"
+			}
+		}
+	}
 	hook := a.hook()
 	for _, b := range a.blocks {
+		if plan != nil {
+			switch plan.Admits(uint64(b.lineOff), b.meta.numLines) {
+			case blockindex.SkipPostings:
+				agg.BlocksSkippedPostings++
+				continue
+			case blockindex.SkipBlooms:
+				agg.BlocksSkippedBlooms++
+				continue
+			}
+		}
 		if !mayMatch(expr, b.meta.stamp) {
 			agg.BlocksSkipped++
 			continue

@@ -20,4 +20,20 @@ var (
 		"Archive queries stopped by context cancellation or deadline expiry")
 	mArchiveQueryPartial = obsv.Default.Counter("loggrep_archive_query_partial_total",
 		"Archive queries cut short by an exhausted work budget (partial results)")
+
+	// Block-skipping index funnel (internal/blockindex).
+	mArchiveIndexBytes = obsv.Default.Counter("loggrep_archive_index_bytes_total",
+		"Bytes of block-skipping index sections written by archive writers")
+	mArchiveIndexVocabOverflow = obsv.Default.Counter("loggrep_archive_index_vocab_overflow_total",
+		"Archives whose postings section was dropped at the vocabulary cap")
+	mArchiveIndexSkippedPostings = obsv.Default.Counter("loggrep_archive_blocks_skipped_postings_total",
+		"Blocks eliminated by the token-postings section without opening them")
+	mArchiveIndexSkippedBlooms = obsv.Default.Counter("loggrep_archive_blocks_skipped_blooms_total",
+		"Blocks eliminated by per-block gram bloom filters without opening them")
+	mArchiveIndexAdmitted = obsv.Default.Counter("loggrep_archive_index_admitted_total",
+		"Blocks an index-filterable query admitted for searching")
+	mArchiveIndexFalseAdmit = obsv.Default.Counter("loggrep_archive_index_false_admit_total",
+		"Index-admitted blocks that were searched and yielded no match (upper bound on index false positives)")
+	mArchiveIndexUnusable = obsv.Default.Counter("loggrep_archive_index_unusable_total",
+		"Archive queries that ran as full scans: index absent, damaged, disabled, or query not token-filterable")
 )

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loggrep/internal/blockindex"
 	"loggrep/internal/core"
 	"loggrep/internal/obsv"
 	"loggrep/internal/query"
@@ -105,6 +106,14 @@ type Archive struct {
 	// queries (harness statistic). Atomic: queries may run concurrently.
 	blocksSkipped atomic.Int64
 
+	// index is the block-skipping index decoded from the sections after
+	// the terminator; nil or empty when the archive has none (old writer,
+	// -no-index, damage). indexDisabled turns it off at query time.
+	index                *blockindex.Index
+	indexDisabled        atomic.Bool
+	indexSkippedPostings atomic.Int64
+	indexSkippedBlooms   atomic.Int64
+
 	hookMu   sync.Mutex
 	readHook core.ReadHook
 }
@@ -160,6 +169,7 @@ func openV2(data []byte) (*Archive, error) {
 	pos := len(Magic)
 	expect := 0 // line number the next in-order frame should start at
 	termLines := -1
+	tailStart := -1 // byte offset of the index tail, past the terminator
 	for {
 		if len(data)-pos < headerSize {
 			causes = append(causes, fmt.Errorf("%w: archive ends mid-frame at offset %d (no terminator)", ErrCorrupt, pos))
@@ -177,6 +187,7 @@ func openV2(data []byte) (*Archive, error) {
 		}
 		if h.terminator() {
 			termLines = h.lineOff
+			tailStart = pos + headerSize
 			break
 		}
 		if h.boxLen > len(data)-pos-headerSize {
@@ -198,6 +209,11 @@ func openV2(data []byte) (*Archive, error) {
 		pos += headerSize + h.boxLen
 	}
 	a.finishV2(termLines, expect, causes)
+	if tailStart >= 0 && tailStart <= len(data) {
+		// Index sections live past the terminator. Decoding never fails —
+		// damage drops the affected section and queries scan every block.
+		a.index = blockindex.DecodeSections(data[tailStart:])
+	}
 	return a, nil
 }
 
@@ -475,7 +491,19 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 	}
 	mArchiveQueries.Inc()
 	hook := a.hook()
-	var skipped, searched atomic.Int64
+	// Compile the query against the block-skipping index; a nil plan means
+	// full scan (index absent, damaged, disabled, or the query has no
+	// token-filterable fragment) — never wrong, only slower.
+	var plan *blockindex.Plan
+	if !a.indexDisabled.Load() {
+		if p := a.index.NewPlan(expr); p.Filterable {
+			plan = p
+		}
+	}
+	if plan == nil {
+		mArchiveIndexUnusable.Inc()
+	}
+	var skipped, searched, skippedPost, skippedBloom atomic.Int64
 	type blockRes struct {
 		idx int
 		res *core.Result
@@ -498,6 +526,23 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 					continue
 				}
 				b := a.blocks[idx]
+				if plan != nil {
+					// Postings then blooms, before the stamp and long before
+					// any capsule decompression.
+					switch plan.Admits(uint64(b.lineOff), b.meta.numLines) {
+					case blockindex.SkipPostings:
+						a.indexSkippedPostings.Add(1)
+						mArchiveIndexSkippedPostings.Inc()
+						skippedPost.Add(1)
+						continue
+					case blockindex.SkipBlooms:
+						a.indexSkippedBlooms.Add(1)
+						mArchiveIndexSkippedBlooms.Inc()
+						skippedBloom.Add(1)
+						continue
+					}
+					mArchiveIndexAdmitted.Inc()
+				}
 				if !mayMatch(expr, b.meta.stamp) {
 					a.blocksSkipped.Add(1)
 					mArchiveBlocksSkipped.Inc()
@@ -537,6 +582,12 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 				mArchiveBlockNS.Observe(time.Since(tb).Nanoseconds())
 				switch {
 				case err == nil:
+					if plan != nil && len(res.Lines) == 0 {
+						// The index admitted a block with no match — an upper
+						// bound on its false-positive rate (the block may have
+						// been admitted for sound reasons, e.g. a NOT branch).
+						mArchiveIndexFalseAdmit.Inc()
+					}
 					span.Attr("matches", int64(len(res.Lines))).
 						Attr("decompressions", int64(res.Decompressions))
 					liftEngineAttrs(span, btr)
@@ -606,6 +657,8 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 	tr.Attr("blocks", int64(len(a.blocks)))
 	tr.Attr("blocks_searched", searched.Load())
 	tr.Attr("blocks_skipped", skipped.Load())
+	tr.Attr("blocks_skipped_postings", skippedPost.Load())
+	tr.Attr("blocks_skipped_blooms", skippedBloom.Load())
 	tr.Attr("damaged_regions", int64(len(res.Damaged)))
 	tr.Attr("matches", int64(len(res.Lines)))
 	if res.Partial {

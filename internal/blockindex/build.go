@@ -1,0 +1,137 @@
+package blockindex
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// maxVocabTokens caps the archive-wide postings vocabulary. Structured
+// logs land far below it (the vocabulary holds token *shapes*, with
+// numeric runs collapsed); an archive that overflows it is effectively
+// unstructured text, and the Builder drops the postings section rather
+// than emit an incomplete (hence unsound) one. Blooms are unaffected.
+const maxVocabTokens = 1 << 16
+
+// Builder accumulates per-block scans in write order and encodes the
+// index sections for Writer.Close.
+type Builder struct {
+	blocks []builderBlock
+	// vocab maps each normalized token to the ordinals of the blocks
+	// containing it; nil after overflow.
+	vocab    map[string][]uint32
+	overflow bool
+}
+
+type builderBlock struct {
+	lineOff  uint64
+	numLines uint64
+	nbits    uint32
+	k        uint8
+	bits     []byte
+	overlong bool
+}
+
+// NewBuilder returns an empty index builder.
+func NewBuilder() *Builder {
+	return &Builder{vocab: make(map[string][]uint32)}
+}
+
+// Add appends one block's scan. frameBytes is the block's compressed
+// frame size, which budgets the bloom filter (see bloom.go). Blocks must
+// be added in stream order with their final line offsets — the archive
+// writer calls this from its frame collector, where all three are known.
+func (b *Builder) Add(lineOff uint64, numLines, frameBytes int, sc *BlockScan) {
+	budget := frameBytes / bloomBudgetDenom
+	if budget < minBloomBudgetBytes {
+		budget = minBloomBudgetBytes
+	}
+	ord := uint32(len(b.blocks))
+	nbits, k, bits := buildBloom(sc.grams, budget)
+	b.blocks = append(b.blocks, builderBlock{
+		lineOff:  lineOff,
+		numLines: uint64(numLines),
+		nbits:    nbits,
+		k:        k,
+		bits:     bits,
+		overlong: sc.overlong,
+	})
+	if b.overflow {
+		return
+	}
+	for tok := range sc.vocab {
+		b.vocab[tok] = append(b.vocab[tok], ord)
+		if len(b.vocab) > maxVocabTokens {
+			b.overflow = true
+			b.vocab = nil
+			return
+		}
+	}
+}
+
+// VocabOverflowed reports whether the postings section was dropped
+// because the vocabulary cap was hit.
+func (b *Builder) VocabOverflowed() bool { return b.overflow }
+
+// Sections encodes the framed index sections (blooms first, then
+// postings unless the vocabulary overflowed). It returns nil for an
+// empty archive.
+func (b *Builder) Sections() []byte {
+	if len(b.blocks) == 0 {
+		return nil
+	}
+	out := appendSection(nil, KindBlooms, b.encodeBlooms())
+	if !b.overflow {
+		out = appendSection(out, KindPostings, b.encodePostings())
+	}
+	return out
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func (b *Builder) encodeBlooms() []byte {
+	p := appendUvarint(nil, uint64(len(b.blocks)))
+	for _, bb := range b.blocks {
+		p = appendUvarint(p, bb.lineOff)
+		p = appendUvarint(p, bb.numLines)
+		p = appendUvarint(p, uint64(bb.k))
+		p = appendUvarint(p, uint64(bb.nbits))
+		p = append(p, bb.bits...)
+	}
+	return p
+}
+
+func (b *Builder) encodePostings() []byte {
+	p := appendUvarint(nil, uint64(len(b.blocks)))
+	bitmapLen := (len(b.blocks) + 7) / 8
+	always := make([]byte, bitmapLen)
+	for i, bb := range b.blocks {
+		p = appendUvarint(p, bb.lineOff)
+		p = appendUvarint(p, bb.numLines)
+		if bb.overlong {
+			always[i/8] |= 1 << (i % 8)
+		}
+	}
+	p = append(p, always...)
+	toks := make([]string, 0, len(b.vocab))
+	for tok := range b.vocab {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks) // deterministic bytes for identical input
+	p = appendUvarint(p, uint64(len(toks)))
+	bitmap := make([]byte, bitmapLen)
+	for _, tok := range toks {
+		p = appendUvarint(p, uint64(len(tok)))
+		p = append(p, tok...)
+		for i := range bitmap {
+			bitmap[i] = 0
+		}
+		for _, ord := range b.vocab[tok] {
+			bitmap[ord/8] |= 1 << (ord % 8)
+		}
+		p = append(p, bitmap...)
+	}
+	return p
+}

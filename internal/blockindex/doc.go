@@ -1,0 +1,37 @@
+// Package blockindex builds and queries the optional block-skipping index
+// of a v2 archive: a per-block bloom filter over token 4-grams and a
+// per-archive token → block postings table. Both are written after the
+// archive terminator frame as self-describing CRC32C-protected sections,
+// so readers that predate the index (and readers that find it damaged)
+// ignore it and fall back to scanning every block — the index can only
+// ever skip work, never change a query's result.
+//
+// # Soundness
+//
+// Query fragments (the wildcard-free pieces of keywords) are
+// delimiter-free by construction, so a fragment that occurs in a log line
+// occurs inside a single line token (a maximal run of non-delimiter
+// bytes). That reduces "block may contain a match" to "some token of the
+// block may contain the fragment as a substring", which the two
+// structures over-approximate independently:
+//
+//   - The postings table stores every distinct normalized token of the
+//     archive and the set of blocks it appears in. Normalization collapses
+//     each maximal run of numeric/hex bytes [0-9a-fA-F] to one marker
+//     byte, which (a) is substring-preserving — if f is a substring of t,
+//     the normal form of f is a substring of the normal form of t — and
+//     (b) folds the unbounded space of numbers, ids and hashes into a
+//     small vocabulary of token shapes. A fragment is postings-filterable
+//     when its normal form keeps at least one non-volatile byte; the
+//     candidate blocks are the union over vocabulary tokens containing
+//     the fragment's normal form.
+//
+//   - The per-block bloom filter stores the raw 4-byte grams of every
+//     token in the block. A fragment of length ≥ 4 can only match inside
+//     a block whose bloom contains all of the fragment's 4-grams.
+//
+// Fragments that neither filter can judge admit every block, NOT
+// subtrees admit every block, and blocks absent from a (possibly
+// damaged) section are always admitted: the plan degrades toward the
+// full scan, never past it.
+package blockindex

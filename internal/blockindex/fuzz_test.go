@@ -1,0 +1,105 @@
+package blockindex
+
+import (
+	"testing"
+
+	"loggrep/internal/query"
+)
+
+// fuzzSeedSections builds real encoded index tails plus damaged
+// variants — the corpus the decode fuzzer starts from.
+func fuzzSeedSections(f *testing.F) [][]byte {
+	f.Helper()
+	b := NewBuilder()
+	b.Add(0, 2, 1<<20, ScanBlock([]byte("alpha ERROR omega\ncode 1234 end\n")))
+	b.Add(2, 1, 1<<20, ScanBlock([]byte("delta warn paths req-7f3a\n")))
+	full := b.Sections()
+
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	headerHit := append([]byte(nil), full...)
+	headerHit[4] ^= 0xff // kind byte
+
+	empty := NewBuilder()
+	empty.Add(0, 1, 1<<20, ScanBlock(nil))
+
+	return [][]byte{
+		full,
+		full[:len(full)/2], // truncated mid-section
+		flipped,            // payload bit flip
+		headerHit,          // header bit flip
+		empty.Sections(),
+		[]byte(sectionMagic),
+		nil,
+	}
+}
+
+// FuzzDecodeSections: arbitrary tail bytes must never panic the decoder,
+// must never allocate beyond the documented caps, and whatever decodes
+// must behave like an index — internally consistent and safe to plan
+// against. The tail is the least-trusted region of an archive: it sits
+// after the terminator, so v1 readers never validated it at all.
+func FuzzDecodeSections(f *testing.F) {
+	for _, seed := range fuzzSeedSections(f) {
+		f.Add(seed)
+	}
+	exprs := []query.Expr{nil}
+	for _, cmd := range []string{"ERROR", "1234", "alpha AND paths", "zz OR 7f3a NOT code"} {
+		e, err := query.Parse(cmd)
+		if err != nil {
+			f.Fatal(err)
+		}
+		exprs = append(exprs, e)
+	}
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		ix := DecodeSections(tail)
+		if ix == nil {
+			t.Fatal("DecodeSections returned nil")
+		}
+		st := ix.ScanStats
+		if st.BloomBytes < 0 || st.PostingsBytes < 0 || st.Damaged < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+		if st.TotalBytes() > len(tail) {
+			t.Fatalf("claims %d healthy bytes from a %d-byte tail", st.TotalBytes(), len(tail))
+		}
+		if ix.Blooms != nil {
+			if st.Blocks < len(ix.Blooms.blocks) {
+				t.Fatalf("Stats.Blocks %d < bloom blocks %d", st.Blocks, len(ix.Blooms.blocks))
+			}
+			for i := range ix.Blooms.blocks {
+				bb := &ix.Blooms.blocks[i]
+				if (bb.k == 0) != (bb.nbits == 0) {
+					t.Fatalf("bloom block %d half-empty: k=%d nbits=%d", i, bb.k, bb.nbits)
+				}
+				if int(bb.nbits) > decodeMaxBits || bb.k > decodeMaxK {
+					t.Fatalf("bloom block %d exceeds caps: k=%d nbits=%d", i, bb.k, bb.nbits)
+				}
+			}
+		}
+		if ix.Postings != nil {
+			if len(ix.Postings.tokens) != st.Tokens {
+				t.Fatalf("Stats.Tokens %d != decoded tokens %d", st.Tokens, len(ix.Postings.tokens))
+			}
+			for i := range ix.Postings.tokens {
+				if len(ix.Postings.tokens[i].tok) > decodeMaxTokenLen {
+					t.Fatalf("token %d exceeds length cap", i)
+				}
+			}
+		}
+		// Every decoded index must be safe to plan and probe with.
+		for _, e := range exprs {
+			p := ix.NewPlan(e)
+			p.Admits(0, 1)
+			p.Admits(0, 2)
+			p.Admits(2, 1)
+			p.Admits(1<<40, 3)
+		}
+		// Section scanning must agree with decoding about tail coverage.
+		for _, in := range ScanSections(tail) {
+			if in.Off < 0 || in.Len < sectionHeaderSize || in.Off+in.Len > len(tail) {
+				t.Fatalf("section info out of range: %+v over %d bytes", in, len(tail))
+			}
+		}
+	})
+}

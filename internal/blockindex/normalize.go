@@ -1,0 +1,81 @@
+package blockindex
+
+import "strings"
+
+// Marker is the byte a maximal numeric/hex run collapses to under
+// Normalize. It is a printable byte for debuggability; a literal '#' in
+// raw log text merely aliases with collapsed runs, which can only cause
+// extra admits, never a missed match.
+const Marker = '#'
+
+// numericByte reports whether b belongs to the collapse class: decimal
+// digits and hex letters of either case. Runs of these bytes are what
+// varies between instances of one token shape (counters, sizes, ids,
+// hashes, address octets), so collapsing them folds the instances
+// together.
+func numericByte(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+// volatileByte reports whether a byte of a normalized token carries no
+// shape information beyond "some value with separators": the collapse
+// marker and the separator punctuation common inside numbers, ids, IPs,
+// paths and timestamps.
+func volatileByte(b byte) bool {
+	switch b {
+	case Marker, '.', ':', '-', '/', '_', '+':
+		return true
+	}
+	return false
+}
+
+// Normalize collapses every maximal run of numeric/hex bytes in s to a
+// single Marker byte. The transform is context-free, which gives the
+// property the index relies on: if f is a substring of t, Normalize(f)
+// is a substring of Normalize(t). (The leading and trailing runs of f
+// may be truncated pieces of longer runs in t, but a truncated run still
+// collapses to the same single marker.)
+func Normalize(s string) string {
+	i := 0
+	for i < len(s) && !numericByte(s[i]) {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:i])
+	for i < len(s) {
+		if numericByte(s[i]) {
+			b.WriteByte(Marker)
+			for i < len(s) && numericByte(s[i]) {
+				i++
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// Filterable reports whether a normalized fragment can consult the
+// postings table: it must keep at least one non-volatile byte, because
+// the vocabulary deliberately omits tokens whose normal form is pure
+// marker-and-separator noise (every block would post them).
+func Filterable(normalized string) bool {
+	for i := 0; i < len(normalized); i++ {
+		if !volatileByte(normalized[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// pureVolatile reports whether every byte of a normalized token is
+// volatile — such tokens (plain numbers, IPs, hex ids, timestamps) are
+// excluded from the postings vocabulary. Filterable fragments can never
+// hide inside them: a fragment with a non-volatile byte forces the same
+// byte into any containing token's normal form.
+func pureVolatile(normalized string) bool { return !Filterable(normalized) }

@@ -1,0 +1,229 @@
+package blockindex
+
+import (
+	"sort"
+	"strings"
+
+	"loggrep/internal/bitset"
+	"loggrep/internal/query"
+)
+
+// Verdict is one block's fate under a Plan.
+type Verdict int
+
+// Admit means the block must be searched; the skip verdicts name the
+// index stage that proved no match is possible.
+const (
+	Admit Verdict = iota
+	SkipPostings
+	SkipBlooms
+)
+
+// Plan is a query's compiled view of the index: the postings verdict is
+// a bitset computed once, the bloom verdict is evaluated per block at
+// Admits time.
+type Plan struct {
+	// Filterable reports whether any index stage can judge the query;
+	// when false every block is admitted and the caller should attribute
+	// the query to the full-scan path.
+	Filterable bool
+	// UsedPostings and UsedBlooms record which stages actively filter.
+	UsedPostings bool
+	UsedBlooms   bool
+
+	expr query.Expr
+	ix   *Index
+	// postAdmit is the postings-admitted set over ix.Postings.blocks;
+	// nil when postings cannot judge the query.
+	postAdmit *bitset.Set
+	// fragGrams holds each bloom-probeable fragment's gram hashes,
+	// precomputed so Admits is read-only and safe for concurrent query
+	// workers.
+	fragGrams map[string][]uint64
+}
+
+// NewPlan compiles a query expression against the index. A nil or empty
+// index yields a plan that admits everything. The returned plan is
+// immutable: Admits may be called from many goroutines.
+func (ix *Index) NewPlan(e query.Expr) *Plan {
+	p := &Plan{expr: e, ix: ix, fragGrams: make(map[string][]uint64)}
+	if ix.Empty() || e == nil {
+		return p
+	}
+	for _, s := range query.Searches(e) {
+		for _, frag := range s.Fragments {
+			if len(frag) >= GramLen {
+				if _, ok := p.fragGrams[frag]; !ok {
+					p.fragGrams[frag] = tokenGrams(nil, frag)
+				}
+			}
+		}
+	}
+	if ix.Postings != nil {
+		cache := make(map[string]*bitset.Set)
+		set, filtered := p.postingsEval(e, cache)
+		if filtered {
+			p.postAdmit = set
+			p.UsedPostings = true
+		}
+	}
+	if ix.Blooms != nil && bloomFilterable(e) {
+		p.UsedBlooms = true
+	}
+	p.Filterable = p.UsedPostings || p.UsedBlooms
+	return p
+}
+
+// Admits returns the verdict for the block identified by (lineOff,
+// numLines). Blocks unknown to a section are admitted by it: index and
+// frame table can disagree after damage, and the unindexed side of a
+// disagreement must be searched.
+func (p *Plan) Admits(lineOff uint64, numLines int) Verdict {
+	key := blockKey{lineOff: lineOff, numLines: uint64(numLines)}
+	if p.postAdmit != nil {
+		if i, ok := p.ix.Postings.byKey[key]; ok && !p.postAdmit.Test(i) {
+			return SkipPostings
+		}
+	}
+	if p.UsedBlooms {
+		if i, ok := p.ix.Blooms.byKey[key]; ok {
+			if !p.bloomEval(p.expr, &p.ix.Blooms.blocks[i]) {
+				return SkipBlooms
+			}
+		}
+	}
+	return Admit
+}
+
+// postingsEval computes the blocks a subexpression may match, as a set
+// over the postings block table, plus whether the subexpression actually
+// constrained the set (an unconstrained subtree returns the full set).
+func (p *Plan) postingsEval(e query.Expr, cache map[string]*bitset.Set) (*bitset.Set, bool) {
+	ps := p.ix.Postings
+	n := len(ps.blocks)
+	switch x := e.(type) {
+	case *query.And:
+		// The more selective child runs first so an empty result
+		// short-circuits the other side.
+		hi, lo := x.L, x.R
+		if query.SelectivityHint(lo) > query.SelectivityHint(hi) {
+			hi, lo = lo, hi
+		}
+		ls, lf := p.postingsEval(hi, cache)
+		if lf && !ls.Any() {
+			return ls, true
+		}
+		rs, rf := p.postingsEval(lo, cache)
+		return ls.And(rs), lf || rf
+	case *query.Or:
+		ls, lf := p.postingsEval(x.L, cache)
+		rs, rf := p.postingsEval(x.R, cache)
+		return ls.Or(rs), lf && rf
+	case *query.Not:
+		// Complementing an over-approximation is unsound; NOT admits all.
+		return bitset.NewFull(n), false
+	case *query.Search:
+		return p.searchPostings(x, cache)
+	}
+	return bitset.NewFull(n), false
+}
+
+// searchPostings intersects the candidate blocks of a search leaf's
+// filterable fragments, most selective (longest normalized) first.
+func (p *Plan) searchPostings(s *query.Search, cache map[string]*bitset.Set) (*bitset.Set, bool) {
+	ps := p.ix.Postings
+	set := bitset.NewFull(len(ps.blocks))
+	var norms []string
+	for _, frag := range s.Fragments {
+		if nf := Normalize(frag); Filterable(nf) {
+			norms = append(norms, nf)
+		}
+	}
+	if len(norms) == 0 {
+		return set, false
+	}
+	sort.Slice(norms, func(i, j int) bool { return len(norms[i]) > len(norms[j]) })
+	for _, nf := range norms {
+		set.And(p.fragmentBlocks(nf, cache))
+		if !set.Any() {
+			break
+		}
+	}
+	return set, true
+}
+
+// fragmentBlocks unions the posting bitmaps of every vocabulary token
+// containing the normalized fragment, plus the always-admit blocks
+// (their vocabulary rows are incomplete).
+func (p *Plan) fragmentBlocks(nf string, cache map[string]*bitset.Set) *bitset.Set {
+	if set, ok := cache[nf]; ok {
+		return set
+	}
+	ps := p.ix.Postings
+	set := bitset.New(len(ps.blocks))
+	for i := range ps.tokens {
+		if strings.Contains(ps.tokens[i].tok, nf) {
+			orBitmap(set, ps.tokens[i].bits)
+		}
+	}
+	orBitmap(set, ps.alwaysAdmit)
+	cache[nf] = set
+	return set
+}
+
+func orBitmap(set *bitset.Set, bits []byte) {
+	n := set.Len()
+	for i := 0; i < n; i++ {
+		if bitmapTest(bits, i) {
+			set.Set(i)
+		}
+	}
+}
+
+// bloomFilterable reports whether the expression has a bloom-probeable
+// fragment in a positive position.
+func bloomFilterable(e query.Expr) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return bloomFilterable(x.L) || bloomFilterable(x.R)
+	case *query.Or:
+		return bloomFilterable(x.L) && bloomFilterable(x.R)
+	case *query.Not:
+		return false
+	case *query.Search:
+		for _, frag := range x.Fragments {
+			if len(frag) >= GramLen {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bloomEval decides whether one block's filter can admit the expression.
+func (p *Plan) bloomEval(e query.Expr, bb *bloomBlock) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return p.bloomEval(x.L, bb) && p.bloomEval(x.R, bb)
+	case *query.Or:
+		return p.bloomEval(x.L, bb) || p.bloomEval(x.R, bb)
+	case *query.Not:
+		return true
+	case *query.Search:
+		if bb.k == 0 || bb.nbits == 0 {
+			return true // block had no filter (gram overflow)
+		}
+		for _, frag := range x.Fragments {
+			if len(frag) < GramLen {
+				continue
+			}
+			for _, h := range p.fragGrams[frag] {
+				if !bloomTest(bb.bits, bb.nbits, bb.k, h) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package blockindex
+
+import "loggrep/internal/logparse"
+
+// maxVocabTokenLen caps a normalized token's length in the postings
+// vocabulary. A block containing a longer token is marked always-admit
+// in the postings section instead — dropping the token silently would
+// let a fragment hiding inside it be skipped.
+const maxVocabTokenLen = 96
+
+// BlockScan is the index-relevant digest of one raw block, computed by
+// the archive writer's compression workers before the block order is
+// known; Builder.Add later binds it to a line offset.
+type BlockScan struct {
+	// grams is the distinct 4-gram hash set of all tokens; nil when the
+	// block exceeded maxBlockGrams (no bloom, always admit).
+	grams map[uint64]struct{}
+	// vocab is the distinct normalized token set, pure-volatile shapes
+	// excluded.
+	vocab map[string]struct{}
+	// overlong records that some normalized token exceeded
+	// maxVocabTokenLen and was left out of vocab, so postings must
+	// always admit this block.
+	overlong bool
+}
+
+// ScanBlock tokenizes one raw block and digests it for indexing. Tokens
+// are maximal runs of non-delimiter bytes within a line; '\n' is treated
+// as a boundary even though the query grammar has no delimiter for it,
+// because entries are single lines and a fragment spanning a newline can
+// match nothing.
+func ScanBlock(block []byte) *BlockScan {
+	sc := &BlockScan{
+		grams: make(map[uint64]struct{}),
+		vocab: make(map[string]struct{}),
+	}
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := string(block[start:end])
+		start = -1
+		if sc.grams != nil {
+			for i := 0; i+GramLen <= len(tok); i++ {
+				sc.grams[gramHash(tok[i], tok[i+1], tok[i+2], tok[i+3])] = struct{}{}
+			}
+			if len(sc.grams) > maxBlockGrams {
+				sc.grams = nil
+			}
+		}
+		norm := Normalize(tok)
+		if pureVolatile(norm) {
+			return
+		}
+		if len(norm) > maxVocabTokenLen {
+			sc.overlong = true
+			return
+		}
+		sc.vocab[norm] = struct{}{}
+	}
+	for i := 0; i < len(block); i++ {
+		b := block[i]
+		if b == '\n' || logparse.IsDelim(b) {
+			flush(i)
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	flush(len(block))
+	return sc
+}

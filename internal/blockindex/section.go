@@ -1,0 +1,347 @@
+package blockindex
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Index sections live after the archive's v2 terminator frame, each
+// framed by an 18-byte header:
+//
+//	[0,4)   magic "LGIX"
+//	[4]     kind (1 = blooms, 2 = postings)
+//	[5]     version (currently 1)
+//	[6,10)  payload length, u32 LE
+//	[10,14) CRC32C of the payload
+//	[14,18) CRC32C of header bytes [0,14)
+//
+// Sections are independent: a damaged payload skips that section only
+// (its header still gives the length of the region to jump), a damaged
+// header or foreign magic stops the scan. Unknown kinds and versions are
+// skipped, so the framing is forward-extensible.
+const (
+	sectionMagic      = "LGIX"
+	sectionHeaderSize = 18
+	sectionVersion    = 1
+
+	// KindBlooms and KindPostings identify the two section payloads.
+	KindBlooms   = 1
+	KindPostings = 2
+)
+
+// Decode caps for untrusted payloads: every count read from the wire is
+// checked against both its cap and the bytes remaining, so a hostile
+// section cannot make the decoder allocate more than O(payload).
+const (
+	decodeMaxBlocks   = 1 << 20
+	decodeMaxTokens   = 1 << 20
+	decodeMaxTokenLen = 1 << 10
+	decodeMaxBits     = 1 << 26
+	decodeMaxK        = 32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendSection frames one payload.
+func appendSection(dst []byte, kind byte, payload []byte) []byte {
+	var h [sectionHeaderSize]byte
+	copy(h[0:4], sectionMagic)
+	h[4] = kind
+	h[5] = sectionVersion
+	binary.LittleEndian.PutUint32(h[6:10], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[10:14], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(h[14:18], crc32.Checksum(h[0:14], castagnoli))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// SectionInfo locates one index section within the archive tail, for
+// inspection and fault-injection tooling.
+type SectionInfo struct {
+	Off  int  // header offset relative to the tail
+	Len  int  // header + payload bytes
+	Kind byte // KindBlooms or KindPostings (or an unknown value)
+	OK   bool // header and payload checksums verified
+}
+
+// ScanSections walks the section framing without decoding payloads. It
+// stops at the first byte run that is not a healthy "LGIX" header, so
+// trailing foreign data after the sections is simply not index bytes.
+func ScanSections(tail []byte) []SectionInfo {
+	var out []SectionInfo
+	pos := 0
+	for pos+sectionHeaderSize <= len(tail) {
+		h := tail[pos : pos+sectionHeaderSize]
+		if string(h[0:4]) != sectionMagic {
+			break
+		}
+		if crc32.Checksum(h[0:14], castagnoli) != binary.LittleEndian.Uint32(h[14:18]) {
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(h[6:10]))
+		if pos+sectionHeaderSize+plen > len(tail) {
+			break
+		}
+		payload := tail[pos+sectionHeaderSize : pos+sectionHeaderSize+plen]
+		ok := crc32.Checksum(payload, castagnoli) == binary.LittleEndian.Uint32(h[10:14])
+		out = append(out, SectionInfo{Off: pos, Len: sectionHeaderSize + plen, Kind: h[4], OK: ok})
+		pos += sectionHeaderSize + plen
+	}
+	return out
+}
+
+// Stats summarizes the decoded index for inspection surfaces.
+type Stats struct {
+	BloomBytes    int // framed bytes of the bloom section (0 if absent)
+	PostingsBytes int // framed bytes of the postings section (0 if absent)
+	Blocks        int // blocks covered by either section
+	Tokens        int // postings vocabulary size
+	Damaged       int // sections present but unusable (checksum/decode)
+}
+
+// TotalBytes is the framed size of every healthy index section.
+func (s Stats) TotalBytes() int { return s.BloomBytes + s.PostingsBytes }
+
+// Index is the decoded block-skipping index of one archive.
+type Index struct {
+	Blooms    *BloomSection    // nil when absent or damaged
+	Postings  *PostingsSection // nil when absent or damaged
+	ScanStats Stats
+}
+
+// Empty reports whether no usable section was decoded.
+func (ix *Index) Empty() bool {
+	return ix == nil || (ix.Blooms == nil && ix.Postings == nil)
+}
+
+// DecodeSections decodes the archive tail into an Index. It never fails:
+// damage is counted and the affected section dropped, because a missing
+// index is always answerable by scanning every block.
+func DecodeSections(tail []byte) *Index {
+	ix := &Index{}
+	pos := 0
+	for pos+sectionHeaderSize <= len(tail) {
+		h := tail[pos : pos+sectionHeaderSize]
+		if string(h[0:4]) != sectionMagic {
+			break
+		}
+		if crc32.Checksum(h[0:14], castagnoli) != binary.LittleEndian.Uint32(h[14:18]) {
+			// The header cannot be trusted, so neither can the payload
+			// length needed to resynchronize past it.
+			ix.ScanStats.Damaged++
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(h[6:10]))
+		if pos+sectionHeaderSize+plen > len(tail) {
+			ix.ScanStats.Damaged++
+			break
+		}
+		payload := tail[pos+sectionHeaderSize : pos+sectionHeaderSize+plen]
+		framed := sectionHeaderSize + plen
+		pos += framed
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(h[10:14]) {
+			ix.ScanStats.Damaged++
+			continue
+		}
+		if h[5] != sectionVersion {
+			continue // future version: not ours to judge
+		}
+		switch h[4] {
+		case KindBlooms:
+			if ix.Blooms != nil {
+				continue // first healthy section of a kind wins
+			}
+			bs, ok := decodeBloomSection(payload)
+			if !ok {
+				ix.ScanStats.Damaged++
+				continue
+			}
+			ix.Blooms = bs
+			ix.ScanStats.BloomBytes = framed
+		case KindPostings:
+			if ix.Postings != nil {
+				continue
+			}
+			ps, ok := decodePostingsSection(payload)
+			if !ok {
+				ix.ScanStats.Damaged++
+				continue
+			}
+			ix.Postings = ps
+			ix.ScanStats.PostingsBytes = framed
+		}
+	}
+	if ix.Blooms != nil {
+		ix.ScanStats.Blocks = len(ix.Blooms.blocks)
+	}
+	if ix.Postings != nil {
+		ix.ScanStats.Tokens = len(ix.Postings.tokens)
+		if n := len(ix.Postings.blocks); n > ix.ScanStats.Blocks {
+			ix.ScanStats.Blocks = n
+		}
+	}
+	return ix
+}
+
+// blockKey identifies a block across index sections and the archive's
+// frame table: damage can reorder or drop frames, so positional identity
+// is not safe, but (line offset, line count) survives resynchronization.
+type blockKey struct {
+	lineOff  uint64
+	numLines uint64
+}
+
+// BloomSection maps block keys to their gram filters.
+type BloomSection struct {
+	blocks []bloomBlock
+	byKey  map[blockKey]int
+}
+
+type bloomBlock struct {
+	key   blockKey
+	nbits uint32
+	k     uint8
+	bits  []byte // aliases the section payload
+}
+
+// PostingsSection is the archive-wide token → blocks table.
+type PostingsSection struct {
+	blocks []blockKey
+	byKey  map[blockKey]int
+	// alwaysAdmit marks blocks whose vocabulary was incomplete
+	// (overlong tokens): bit i of byte i/8, aliasing the payload.
+	alwaysAdmit []byte
+	tokens      []tokenPostings
+}
+
+type tokenPostings struct {
+	tok  string
+	bits []byte // block bitmap, bit i of byte i/8, aliases the payload
+}
+
+type payloadReader struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *payloadReader) bytes(n int) []byte {
+	if n < 0 || r.pos+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	s := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return s
+}
+
+func (r *payloadReader) done() bool { return r.pos == len(r.b) }
+
+// Bloom payload: uvarint numBlocks, then per block uvarint lineOff,
+// numLines, k, nbits and ceil(nbits/8) filter bytes. k=0/nbits=0 means
+// "no filter, always admit".
+func decodeBloomSection(payload []byte) (*BloomSection, bool) {
+	r := &payloadReader{b: payload}
+	n := r.uvarint()
+	if r.bad || n > decodeMaxBlocks || int(n) > len(payload) {
+		return nil, false
+	}
+	bs := &BloomSection{
+		blocks: make([]bloomBlock, 0, int(n)),
+		byKey:  make(map[blockKey]int, int(n)),
+	}
+	for i := uint64(0); i < n; i++ {
+		var bb bloomBlock
+		bb.key.lineOff = r.uvarint()
+		bb.key.numLines = r.uvarint()
+		k := r.uvarint()
+		nbits := r.uvarint()
+		if r.bad || k > decodeMaxK || nbits > decodeMaxBits {
+			return nil, false
+		}
+		bb.k = uint8(k)
+		bb.nbits = uint32(nbits)
+		bb.bits = r.bytes(int((nbits + 7) / 8))
+		if r.bad {
+			return nil, false
+		}
+		if (bb.k == 0) != (bb.nbits == 0) {
+			return nil, false
+		}
+		if _, dup := bs.byKey[bb.key]; dup {
+			return nil, false
+		}
+		bs.byKey[bb.key] = len(bs.blocks)
+		bs.blocks = append(bs.blocks, bb)
+	}
+	if !r.done() {
+		return nil, false
+	}
+	return bs, true
+}
+
+// Postings payload: uvarint numBlocks, per block uvarint lineOff and
+// numLines, an always-admit bitmap of ceil(numBlocks/8) bytes, uvarint
+// numTokens, then per token uvarint length, the normalized token bytes,
+// and a block bitmap of ceil(numBlocks/8) bytes.
+func decodePostingsSection(payload []byte) (*PostingsSection, bool) {
+	r := &payloadReader{b: payload}
+	n := r.uvarint()
+	if r.bad || n > decodeMaxBlocks || int(n) > len(payload) {
+		return nil, false
+	}
+	ps := &PostingsSection{
+		blocks: make([]blockKey, 0, int(n)),
+		byKey:  make(map[blockKey]int, int(n)),
+	}
+	for i := uint64(0); i < n; i++ {
+		var k blockKey
+		k.lineOff = r.uvarint()
+		k.numLines = r.uvarint()
+		if r.bad {
+			return nil, false
+		}
+		if _, dup := ps.byKey[k]; dup {
+			return nil, false
+		}
+		ps.byKey[k] = len(ps.blocks)
+		ps.blocks = append(ps.blocks, k)
+	}
+	bitmapLen := int((n + 7) / 8)
+	ps.alwaysAdmit = r.bytes(bitmapLen)
+	nt := r.uvarint()
+	if r.bad || nt > decodeMaxTokens || int(nt) > len(payload) {
+		return nil, false
+	}
+	ps.tokens = make([]tokenPostings, 0, int(nt))
+	for i := uint64(0); i < nt; i++ {
+		tl := r.uvarint()
+		if r.bad || tl > decodeMaxTokenLen {
+			return nil, false
+		}
+		tok := r.bytes(int(tl))
+		bits := r.bytes(bitmapLen)
+		if r.bad {
+			return nil, false
+		}
+		ps.tokens = append(ps.tokens, tokenPostings{tok: string(tok), bits: bits})
+	}
+	if !r.done() {
+		return nil, false
+	}
+	return ps, true
+}
+
+func bitmapTest(bits []byte, i int) bool {
+	return i/8 < len(bits) && bits[i/8]&(1<<(i%8)) != 0
+}

@@ -30,6 +30,16 @@ type Explain struct {
 	BlocksSearched int
 	BlocksSkipped  int
 	BlocksDamaged  int
+	// The block-skipping index funnel, consulted before stamps:
+	// BlocksSkippedPostings were eliminated by the archive's token
+	// postings, BlocksSkippedBlooms by per-block gram bloom filters.
+	// IndexState says how the index participated: "postings+blooms",
+	// "postings", "blooms", "not-filterable" (index present, query has no
+	// indexable fragment), "absent" (no usable index), or "disabled".
+	// Empty when explaining a single box.
+	BlocksSkippedPostings int
+	BlocksSkippedBlooms   int
+	IndexState            string
 }
 
 // SearchExplain is the funnel of one search string.
@@ -109,10 +119,16 @@ func (ex *Explain) String() string {
 	fmt.Fprintf(&b, "explain %q over %d lines\n", ex.Command, ex.NumLines)
 	if ex.Blocks > 0 {
 		fmt.Fprintf(&b, "archive: %d blocks (%d searched, %d skipped by block stamps", ex.Blocks, ex.BlocksSearched, ex.BlocksSkipped)
+		if ex.BlocksSkippedPostings > 0 || ex.BlocksSkippedBlooms > 0 {
+			fmt.Fprintf(&b, ", %d by postings, %d by blooms", ex.BlocksSkippedPostings, ex.BlocksSkippedBlooms)
+		}
 		if ex.BlocksDamaged > 0 {
 			fmt.Fprintf(&b, ", %d damaged", ex.BlocksDamaged)
 		}
 		b.WriteString(")\n")
+		if ex.IndexState != "" {
+			fmt.Fprintf(&b, "index: %s\n", ex.IndexState)
+		}
 	}
 	for _, se := range ex.Searches {
 		fmt.Fprintf(&b, "search %q (fragments, most selective first: %v)\n", se.Phrase, se.Fragments)

@@ -570,14 +570,21 @@ func exprMatch(e query.Expr, entry string) bool {
 func (st *Store) overApprox(e query.Expr) (*bitset.Set, error) {
 	switch x := e.(type) {
 	case *query.And:
-		l, err := st.overApprox(x.L)
+		// Evaluate the higher-selectivity side first (longest required
+		// fragment wins): when it comes up empty the other side — and all
+		// of its capsule lookups — is skipped entirely.
+		hi, lo := x.L, x.R
+		if query.SelectivityHint(lo) > query.SelectivityHint(hi) {
+			hi, lo = lo, hi
+		}
+		l, err := st.overApprox(hi)
 		if err != nil {
 			return nil, err
 		}
 		if !l.Any() {
 			return l, nil
 		}
-		r, err := st.overApprox(x.R)
+		r, err := st.overApprox(lo)
 		if err != nil {
 			return nil, err
 		}

@@ -302,6 +302,42 @@ func Eval(e Expr, n int, leaf func(*Search) *bitset.Set) *bitset.Set {
 	panic(fmt.Sprintf("query: unknown node %T", e))
 }
 
+// SelectivityHint estimates how selective an expression is for plan
+// ordering: the length of the longest fragment the expression requires.
+// Longer fragments are rarer (CLP queries its "obscurest" keyword first
+// for the same reason), so AND planners evaluate the higher-hint side
+// first and short-circuit when it comes up empty. An AND requires its
+// strongest child's fragments (max); an OR only guarantees its weakest
+// child's (min); a NOT requires nothing (0). The hint carries no
+// soundness weight — it only orders work.
+func SelectivityHint(e Expr) int {
+	switch x := e.(type) {
+	case *And:
+		l, r := SelectivityHint(x.L), SelectivityHint(x.R)
+		if l > r {
+			return l
+		}
+		return r
+	case *Or:
+		l, r := SelectivityHint(x.L), SelectivityHint(x.R)
+		if l < r {
+			return l
+		}
+		return r
+	case *Not:
+		return 0
+	case *Search:
+		best := 0
+		for _, frag := range x.Fragments {
+			if len(frag) > best {
+				best = len(frag)
+			}
+		}
+		return best
+	}
+	return 0
+}
+
 // Searches returns all Search leaves of an expression, left to right.
 func Searches(e Expr) []*Search {
 	switch x := e.(type) {
