@@ -1,8 +1,12 @@
-// Command loggrepd serves LogGrep queries over HTTP.
+// Command loggrepd serves LogGrep over HTTP: grep-like queries over
+// loaded archives, and — with -ingest — a durable write path that
+// accepts streaming log batches and seals them into compressed, indexed
+// archive segments in the background.
 //
 // Usage:
 //
 //	loggrepd -addr :8080 -load prod=prod.lgrep -load web=web.log.lgrep
+//	loggrepd -addr :8080 -ingest -ingest-dir /var/lib/loggrep/ingest
 //
 // Then:
 //
@@ -11,6 +15,17 @@
 //	curl -X PUT --data-binary @more.lgrep localhost:8080/v1/sources/more
 //	curl 'localhost:8080/metrics'              # Prometheus text
 //	curl 'localhost:8080/metrics?format=json'  # JSON
+//
+// Ingest (INGEST.md is the full handbook): POST /ingest appends a batch
+// of newline-separated lines (or NDJSON with Content-Type:
+// application/x-ndjson) to a per-tenant/stream WAL buffer, fsynced
+// before the 200 — acknowledged lines survive a crash and are replayed
+// on restart. A background sealer rolls buffers into compressed archive
+// segments under -ingest-dir once -ingest-seal-mb or -ingest-seal-age
+// trips (POST /ingest/seal forces it). Streams are immediately queryable
+// as source "tenant/stream" — sealed segments and the raw tail answer as
+// one consistent view. A tenant whose raw tail exceeds
+// -ingest-max-tenant-mb gets 429 + Retry-After until sealing drains it.
 //
 // Overload and timeout controls: -max-concurrent bounds simultaneous
 // queries (excess requests queue briefly, then get 429 + Retry-After),
@@ -62,6 +77,7 @@ import (
 
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
+	"loggrep/internal/ingest"
 	"loggrep/internal/obsv"
 	"loggrep/internal/server"
 	"loggrep/internal/version"
@@ -85,6 +101,12 @@ func main() {
 	maxScanMB := flag.Int64("max-scan-mb", 0, "per-query cap on scanned megabytes, exceeding returns partial results (0 = unlimited)")
 	maxDecomp := flag.Int64("max-decompressions", 0, "per-query cap on capsule decompressions, exceeding returns partial results (0 = unlimited)")
 	noIndex := flag.Bool("no-index", false, "make archive sources ignore block-skipping index sections, always full-scan")
+	ingestOn := flag.Bool("ingest", false, "enable the write path: POST /ingest with WAL-durable buffering and background sealing (see INGEST.md)")
+	ingestDir := flag.String("ingest-dir", "ingest", "root directory for ingest WAL segments and sealed archives")
+	ingestSealMB := flag.Int64("ingest-seal-mb", 4, "seal a stream's raw segment once it reaches this many megabytes")
+	ingestSealAge := flag.Duration("ingest-seal-age", 30*time.Second, "seal a non-empty raw segment this long after its first line, even if under -ingest-seal-mb")
+	ingestMaxTenantMB := flag.Int64("ingest-max-tenant-mb", 64, "per-tenant bound on unsealed raw-tail megabytes; appends past it get 429 + Retry-After")
+	ingestNoFsync := flag.Bool("ingest-no-fsync", false, "skip the WAL fsync before acknowledging batches (faster; a host crash may lose acknowledged data)")
 	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
 	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
 	slowlogFile := flag.String("slowlog-file", "", "write slowlog events to this rotating file instead of stderr (implies -slowlog 0 unless set)")
@@ -113,6 +135,22 @@ func main() {
 	sv.MaxTimeout = *maxTimeout
 	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
 	sv.DisableIndex = *noIndex
+	if *ingestOn {
+		m, stats, err := ingest.Open(ingest.Config{
+			Dir:            *ingestDir,
+			SealBytes:      *ingestSealMB << 20,
+			SealAge:        *ingestSealAge,
+			MaxTenantBytes: *ingestMaxTenantMB << 20,
+			NoFsync:        *ingestNoFsync,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer m.Close()
+		sv.Ingest = m
+		fmt.Printf("ingest enabled: dir=%s replayed %d stream(s), %d sealed segment(s), %d WAL segment(s) (%d lines)\n",
+			*ingestDir, stats.Streams, stats.SealedSegs, stats.RawSegs, stats.RawLines)
+	}
 	if *slowlog >= 0 || *slowlogSample > 0 || *slowlogFile != "" {
 		threshold := *slowlog
 		if threshold < 0 {

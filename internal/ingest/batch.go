@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"loggrep/internal/logparse"
+)
+
+// Batch is one parsed ingest request body: line groups keyed by stream
+// name, each group in arrival order. Streams preserves first-appearance
+// order so appends (and thus acknowledgement semantics) are
+// deterministic.
+type Batch struct {
+	Streams []string
+	Groups  map[string][]string
+	Lines   int
+}
+
+// ndjsonRecord is the NDJSON wire shape: {"line": "...", "stream": "..."}.
+// line is required; stream (optional) routes the record to a different
+// stream of the same tenant than the request default.
+type ndjsonRecord struct {
+	Line   string `json:"line"`
+	Stream string `json:"stream"`
+}
+
+// ParseBatch decodes a request body into per-stream line groups.
+// contentType "application/x-ndjson" selects NDJSON (one JSON object per
+// line); anything else is plain text, one log line per '\n'-terminated
+// line, all routed to defaultStream. Empty lines are skipped in both
+// formats. Errors wrap ErrBadInput.
+func ParseBatch(contentType string, body []byte, defaultStream string) (*Batch, error) {
+	b := &Batch{Groups: map[string][]string{}}
+	add := func(stream, line string) {
+		if _, ok := b.Groups[stream]; !ok {
+			b.Streams = append(b.Streams, stream)
+		}
+		b.Groups[stream] = append(b.Groups[stream], line)
+		b.Lines++
+	}
+	if ct, _, _ := strings.Cut(contentType, ";"); strings.TrimSpace(ct) == "application/x-ndjson" {
+		for i, raw := range logparse.SplitLines(body) {
+			if strings.TrimSpace(raw) == "" {
+				continue
+			}
+			var rec ndjsonRecord
+			if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+				return nil, fmt.Errorf("%w: NDJSON record %d: %v", ErrBadInput, i+1, err)
+			}
+			if rec.Line == "" {
+				return nil, fmt.Errorf("%w: NDJSON record %d: missing \"line\" field", ErrBadInput, i+1)
+			}
+			stream := defaultStream
+			if rec.Stream != "" {
+				stream = rec.Stream
+			}
+			add(stream, rec.Line)
+		}
+		return b, nil
+	}
+	for _, line := range logparse.SplitLines(body) {
+		if line == "" {
+			continue
+		}
+		add(defaultStream, line)
+	}
+	return b, nil
+}

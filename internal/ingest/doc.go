@@ -1,0 +1,16 @@
+// Package ingest is loggrepd's write path: per-tenant/stream append
+// buffers that accept batched plain-text or NDJSON log lines, persist them
+// in CRC-framed write-ahead (WAL) segments — fsynced before a batch is
+// acknowledged, replayed on startup — and seal closed segments in the
+// background into compressed v2 archives, templates mined by the
+// sample-based parser and block-skipping index sections included, published
+// with the same atomic temp+rename primitive the flight recorder uses.
+//
+// Sealed archives and the raw tail answer queries as one consistent
+// stream with stable global line numbers, and a bounded per-tenant
+// raw-buffer budget turns overload into explicit backpressure
+// (ErrBackpressure, surfaced by loggrepd as 429 + Retry-After) instead of
+// unbounded memory growth. INGEST.md is the operator handbook; DESIGN.md
+// §2.6 documents the on-disk raw-segment layout and the seal protocol's
+// crash-safety argument.
+package ingest

@@ -1,0 +1,654 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"loggrep/internal/archive"
+)
+
+// ErrBackpressure reports a batch refused because the tenant's raw-buffer
+// budget is full. The data was NOT accepted; the client should back off
+// and retry (loggrepd answers 429 + Retry-After). Sealing frees budget.
+var ErrBackpressure = errors.New("ingest: tenant raw buffer full, retry later")
+
+// ErrBadInput reports a malformed batch (bad name, oversized line,
+// embedded newline, unparsable NDJSON). loggrepd answers 400.
+var ErrBadInput = errors.New("ingest: bad input")
+
+// ErrClosed reports an operation on a closed Manager.
+var ErrClosed = errors.New("ingest: manager closed")
+
+// MaxLineBytes bounds one log line; longer lines are refused as bad input
+// rather than silently truncated.
+const MaxLineBytes = 1 << 20
+
+// Config configures a Manager. The zero value of every field picks the
+// documented default.
+type Config struct {
+	// Dir is the ingest root. Layout: <dir>/<tenant>/<stream>/ holding
+	// wal-NNNNNNNN.wal raw segments and seg-NNNNNNNN.lgrep sealed
+	// archives, one per segment sequence number.
+	Dir string
+	// SealBytes closes the active segment once its raw size reaches this
+	// many bytes (default 4 MB). Closed segments are sealed in the
+	// background.
+	SealBytes int64
+	// SealAge closes a non-empty active segment this long after its first
+	// line even if it is under SealBytes (default 30s), bounding how long
+	// lines stay in the uncompressed tail.
+	SealAge time.Duration
+	// MaxTenantBytes bounds one tenant's unsealed (WAL raw-tail) bytes
+	// across all its streams (default 64 MB). Appends past the bound fail
+	// with ErrBackpressure.
+	MaxTenantBytes int64
+	// Archive configures seal-time compression; the zero value means
+	// archive.DefaultOptions() (v2 frames + block-skipping index).
+	Archive archive.Options
+	// NoFsync skips the fsync before each batch acknowledgement.
+	// Throughput rises; a host crash may then lose acknowledged batches
+	// (a process crash still cannot). Benchmarks only.
+	NoFsync bool
+	// SealInterval is the background sealer's poll cadence (default
+	// 250ms).
+	SealInterval time.Duration
+
+	// sealHook, when set, is called between seal stages ("compressed",
+	// "published", "cleaned") and aborts the seal on error. Crash-safety
+	// tests use it to simulate a kill at every point of the protocol.
+	sealHook func(stage string) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.SealBytes <= 0 {
+		c.SealBytes = 4 << 20
+	}
+	if c.SealAge <= 0 {
+		c.SealAge = 30 * time.Second
+	}
+	if c.MaxTenantBytes <= 0 {
+		c.MaxTenantBytes = 64 << 20
+	}
+	if c.Archive == (archive.Options{}) {
+		c.Archive = archive.DefaultOptions()
+	}
+	if c.SealInterval <= 0 {
+		c.SealInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// segment is one sequence-numbered slice of a stream. It is raw (lines in
+// memory, WAL file on disk) until the sealer turns it into a sealed
+// archive; the replacement happens in place, so global line numbering —
+// segments in ascending sequence order — never moves.
+type segment struct {
+	seq uint64
+
+	// Raw state (arch == nil). lines is append-only while active and
+	// immutable once closed; f is non-nil only while active.
+	lines    []string
+	rawBytes int64
+	f        *os.File
+	born     time.Time
+	sealing  bool
+
+	// Sealed state.
+	arch        *archive.Archive
+	numLines    int
+	sealedBytes int64
+}
+
+func (sg *segment) lineCount() int {
+	if sg.arch != nil {
+		return sg.numLines
+	}
+	return len(sg.lines)
+}
+
+// Stream is one tenant's named log stream: an ordered list of segments.
+type Stream struct {
+	tenant, name string
+	dir          string
+	m            *Manager
+
+	mu      sync.Mutex
+	segs    []*segment
+	nextSeq uint64
+	// appended counts lines acknowledged over this Stream's lifetime
+	// (replayed lines included); it only grows.
+	appended int64
+	lastErr  error // latched WAL write failure; stream refuses appends
+}
+
+// Tenant returns the stream's tenant name.
+func (st *Stream) Tenant() string { return st.tenant }
+
+// Name returns the stream's name within its tenant.
+func (st *Stream) Name() string { return st.name }
+
+// Manager owns every ingest stream under one root directory.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[string]*Stream // key: tenant + "/" + name
+	tenants map[string]*int64  // unsealed raw-tail bytes per tenant
+	closed  bool
+
+	stop    chan struct{}
+	done    chan struct{}
+	sealNow chan struct{}
+}
+
+// ReplayStats summarizes what Open recovered from disk.
+type ReplayStats struct {
+	Streams     int // streams found on disk
+	SealedSegs  int // already-sealed segments reopened
+	RawSegs     int // WAL segments recovered into the raw tail
+	RawLines    int // lines in those WAL segments
+	OrphanWALs  int // WALs superseded by a completed seal, removed
+	TempRemoved int // abandoned temp files removed
+}
+
+// Open creates (or reopens) the ingest root and replays whatever a
+// previous process left behind: sealed segments are reopened for query,
+// WAL segments whose seal completed are deleted (the archive is the
+// survivor — never both, so no duplicates), and remaining WAL segments
+// are decoded back into the raw tail for query and eventual sealing. The
+// background sealer starts immediately.
+func Open(cfg Config) (*Manager, *ReplayStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("%w: empty ingest dir", ErrBadInput)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		streams: make(map[string]*Stream),
+		tenants: make(map[string]*int64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		sealNow: make(chan struct{}, 1),
+	}
+	stats, err := m.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	go m.sealer()
+	return m, stats, nil
+}
+
+// replay scans <dir>/<tenant>/<stream>/ and rebuilds in-memory state.
+func (m *Manager) replay() (*ReplayStats, error) {
+	stats := &ReplayStats{}
+	tenants, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tenants {
+		if !t.IsDir() || !validName(t.Name()) {
+			continue
+		}
+		streamDirs, err := os.ReadDir(filepath.Join(m.cfg.Dir, t.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range streamDirs {
+			if !s.IsDir() || !validName(s.Name()) {
+				continue
+			}
+			st, err := m.replayStream(t.Name(), s.Name(), stats)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: replay %s/%s: %w", t.Name(), s.Name(), err)
+			}
+			m.streams[t.Name()+"/"+s.Name()] = st
+			stats.Streams++
+		}
+	}
+	return stats, nil
+}
+
+func (m *Manager) replayStream(tenant, name string, stats *ReplayStats) (*Stream, error) {
+	dir := filepath.Join(m.cfg.Dir, tenant, name)
+	st := &Stream{tenant: tenant, name: name, dir: dir, m: m}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wals := map[uint64]bool{}
+	sealed := map[uint64]bool{}
+	for _, e := range entries {
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, ".tmp-"):
+			// An AtomicWriteFile interrupted before its rename; the WAL
+			// it was sealing survived, so the temp bytes are garbage.
+			os.Remove(filepath.Join(dir, n))
+			stats.TempRemoved++
+		case parseSeq(n, "wal-", ".wal") != 0:
+			wals[parseSeq(n, "wal-", ".wal")] = true
+		case parseSeq(n, "seg-", ".lgrep") != 0:
+			sealed[parseSeq(n, "seg-", ".lgrep")] = true
+		}
+	}
+	seqs := make([]uint64, 0, len(wals)+len(sealed))
+	for q := range wals {
+		seqs = append(seqs, q)
+	}
+	for q := range sealed {
+		if !wals[q] {
+			seqs = append(seqs, q)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, q := range seqs {
+		if sealed[q] {
+			data, err := os.ReadFile(segPath(dir, q))
+			if err != nil {
+				return nil, err
+			}
+			a, err := archive.Open(data)
+			if err != nil {
+				return nil, fmt.Errorf("sealed segment %d: %w", q, err)
+			}
+			st.segs = append(st.segs, &segment{
+				seq: q, arch: a, numLines: a.NumLines(), sealedBytes: int64(len(data)),
+			})
+			st.appended += int64(a.NumLines())
+			stats.SealedSegs++
+			if wals[q] {
+				// The seal's rename published before the crash; the WAL
+				// is the redundant copy. Removing it (again) is the
+				// idempotent completion of the interrupted protocol.
+				os.Remove(walPath(dir, q))
+				stats.OrphanWALs++
+			}
+			continue
+		}
+		data, err := os.ReadFile(walPath(dir, q))
+		if err != nil {
+			return nil, err
+		}
+		lines, bytes := decodeWAL(data)
+		if len(lines) == 0 {
+			// Empty or torn-before-first-record WAL: nothing was
+			// acknowledged from it.
+			os.Remove(walPath(dir, q))
+			continue
+		}
+		// Replayed raw segments are closed (f == nil): appends go to a
+		// fresh segment, and the sealer picks these up in order.
+		st.segs = append(st.segs, &segment{
+			seq: q, lines: lines, rawBytes: bytes, born: time.Now(),
+		})
+		st.appended += int64(len(lines))
+		m.tenantAdd(tenant, bytes)
+		stats.RawSegs++
+		stats.RawLines += len(lines)
+		mReplayedSegments.Inc()
+		mReplayedLines.Add(int64(len(lines)))
+	}
+	if len(seqs) > 0 {
+		st.nextSeq = seqs[len(seqs)-1] + 1
+	}
+	return st, nil
+}
+
+// parseSeq extracts the sequence number from prefix+%08d+suffix names, 0
+// if the name does not match.
+func parseSeq(name, prefix, suffix string) uint64 {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var q uint64
+	for i := 0; i < len(mid); i++ {
+		if mid[i] < '0' || mid[i] > '9' {
+			return 0
+		}
+		q = q*10 + uint64(mid[i]-'0')
+	}
+	return q
+}
+
+// validName constrains tenant and stream names to path-safe tokens.
+func validName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			i > 0 && (c == '.' || c == '_' || c == '-')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// tenantAdd adjusts a tenant's unsealed-byte account by delta.
+func (m *Manager) tenantAdd(tenant string, delta int64) {
+	m.mu.Lock()
+	p := m.tenants[tenant]
+	if p == nil {
+		p = new(int64)
+		m.tenants[tenant] = p
+	}
+	*p += delta
+	m.mu.Unlock()
+}
+
+// tenantReserve atomically charges delta against the tenant's budget,
+// refusing when it would exceed the bound.
+func (m *Manager) tenantReserve(tenant string, delta int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.tenants[tenant]
+	if p == nil {
+		p = new(int64)
+		m.tenants[tenant] = p
+	}
+	if *p+delta > m.cfg.MaxTenantBytes {
+		return false
+	}
+	*p += delta
+	return true
+}
+
+// TenantUsage returns a tenant's unsealed raw-tail bytes and the bound.
+func (m *Manager) TenantUsage(tenant string) (used, limit int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.tenants[tenant]; p != nil {
+		used = *p
+	}
+	return used, m.cfg.MaxTenantBytes
+}
+
+// Lookup resolves "tenant/stream" (or "stream", meaning tenant
+// "default") to an existing Stream, nil when absent.
+func (m *Manager) Lookup(name string) *Stream {
+	tenant, stream, ok := strings.Cut(name, "/")
+	if !ok {
+		tenant, stream = "default", name
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streams[tenant+"/"+stream]
+}
+
+// stream returns (creating if needed) the tenant's named stream.
+func (m *Manager) stream(tenant, name string) (*Stream, error) {
+	if !validName(tenant) || !validName(name) {
+		return nil, fmt.Errorf("%w: bad tenant/stream name %q/%q", ErrBadInput, tenant, name)
+	}
+	key := tenant + "/" + name
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if st := m.streams[key]; st != nil {
+		return st, nil
+	}
+	dir := filepath.Join(m.cfg.Dir, tenant, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Stream{tenant: tenant, name: name, dir: dir, m: m}
+	m.streams[key] = st
+	return st, nil
+}
+
+// Append durably accepts one batch of lines for tenant/stream: the batch
+// is framed into the active WAL segment, fsynced (unless NoFsync), and
+// only then acknowledged. All-or-nothing: on any error no line of the
+// batch was accepted. ErrBackpressure means the tenant's raw-tail budget
+// is full — back off, let the sealer drain, retry.
+func (m *Manager) Append(tenant, stream string, lines []string) error {
+	if len(lines) == 0 {
+		return nil
+	}
+	var add int64
+	for _, l := range lines {
+		if len(l) > MaxLineBytes {
+			return fmt.Errorf("%w: line of %d bytes exceeds %d", ErrBadInput, len(l), MaxLineBytes)
+		}
+		if strings.IndexByte(l, '\n') >= 0 {
+			return fmt.Errorf("%w: line contains embedded newline", ErrBadInput)
+		}
+		add += int64(len(l)) + 1
+	}
+	st, err := m.stream(tenant, stream)
+	if err != nil {
+		return err
+	}
+	if !m.tenantReserve(tenant, add) {
+		mRejected.Inc()
+		return ErrBackpressure
+	}
+	t0 := time.Now()
+	if err := st.append(lines, add); err != nil {
+		m.tenantAdd(tenant, -add)
+		return err
+	}
+	mBatches.Inc()
+	mLines.Add(int64(len(lines)))
+	mBytes.Add(add)
+	hBatchNS.Observe(time.Since(t0).Nanoseconds())
+	return nil
+}
+
+// append writes the batch into the stream's active segment. The caller
+// holds the tenant reservation.
+func (st *Stream) append(lines []string, add int64) error {
+	payload := make([]byte, 0, add)
+	for _, l := range lines {
+		payload = append(payload, l...)
+		payload = append(payload, '\n')
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.lastErr != nil {
+		return st.lastErr
+	}
+	sg, err := st.activeLocked()
+	if err != nil {
+		return err
+	}
+	if _, err := sg.f.Write(encodeWALRecord(payload)); err != nil {
+		// A torn record may now sit at the segment's end. Replay drops
+		// it (CRC framing), but this process can no longer tell what is
+		// durable, so the stream latches the failure and refuses writes.
+		st.lastErr = fmt.Errorf("ingest: WAL write %s/%s: %w", st.tenant, st.name, err)
+		return st.lastErr
+	}
+	if !st.m.cfg.NoFsync {
+		t0 := time.Now()
+		if err := sg.f.Sync(); err != nil {
+			st.lastErr = fmt.Errorf("ingest: WAL fsync %s/%s: %w", st.tenant, st.name, err)
+			return st.lastErr
+		}
+		mFsyncs.Inc()
+		hFsyncNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	sg.lines = append(sg.lines, lines...)
+	sg.rawBytes += add
+	st.appended += int64(len(lines))
+	if sg.rawBytes >= st.m.cfg.SealBytes {
+		st.rollLocked()
+		st.m.kickSealer()
+	}
+	return nil
+}
+
+// activeLocked returns the active (open-file) segment, creating one if
+// the stream has none. Caller holds st.mu.
+func (st *Stream) activeLocked() (*segment, error) {
+	if n := len(st.segs); n > 0 {
+		if sg := st.segs[n-1]; sg.f != nil {
+			return sg, nil
+		}
+	}
+	if st.nextSeq == 0 {
+		st.nextSeq = 1
+	}
+	seq := st.nextSeq
+	f, err := createWAL(walPath(st.dir, seq))
+	if err != nil {
+		return nil, err
+	}
+	st.nextSeq++
+	sg := &segment{seq: seq, f: f, born: time.Now()}
+	st.segs = append(st.segs, sg)
+	return sg, nil
+}
+
+// rollLocked closes the active segment so the sealer may take it. Caller
+// holds st.mu.
+func (st *Stream) rollLocked() {
+	if n := len(st.segs); n > 0 && st.segs[n-1].f != nil {
+		sg := st.segs[n-1]
+		sg.f.Close()
+		sg.f = nil
+	}
+}
+
+// NumLines returns the stream's total line count (sealed + raw tail).
+func (st *Stream) NumLines() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, sg := range st.segs {
+		n += sg.lineCount()
+	}
+	return n
+}
+
+// Appended returns the lines acknowledged over the stream's lifetime.
+func (st *Stream) Appended() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.appended
+}
+
+// Info describes one stream for /v1/sources and diagnostics.
+type Info struct {
+	Tenant     string `json:"tenant"`
+	Stream     string `json:"stream"`
+	Lines      int    `json:"lines"`
+	SealedSegs int    `json:"sealed_segments"`
+	RawSegs    int    `json:"raw_segments"`
+	RawBytes   int64  `json:"raw_bytes"`
+	SealedSize int64  `json:"sealed_compressed_bytes"`
+}
+
+// Snapshot lists every stream, tenant/stream sorted.
+func (m *Manager) Snapshot() []Info {
+	m.mu.Lock()
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(streams))
+	for _, st := range streams {
+		st.mu.Lock()
+		info := Info{Tenant: st.tenant, Stream: st.name}
+		for _, sg := range st.segs {
+			info.Lines += sg.lineCount()
+			if sg.arch != nil {
+				info.SealedSegs++
+				info.SealedSize += sg.sealedBytes
+			} else {
+				info.RawSegs++
+				info.RawBytes += sg.rawBytes
+			}
+		}
+		st.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Stream < out[j].Stream
+	})
+	return out
+}
+
+// Close stops the sealer and closes every active WAL file (fsynced
+// first). It does NOT seal the raw tail — WAL segments are already
+// durable and the next Open replays them — so shutdown stays fast.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	var first error
+	for _, st := range m.snapshotStreams() {
+		st.mu.Lock()
+		if n := len(st.segs); n > 0 && st.segs[n-1].f != nil {
+			sg := st.segs[n-1]
+			if !m.cfg.NoFsync {
+				if err := sg.f.Sync(); err != nil && first == nil {
+					first = err
+				}
+			}
+			if err := sg.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sg.f = nil
+		}
+		st.mu.Unlock()
+	}
+	return first
+}
+
+// abandon simulates a process crash for tests: the sealer stops and file
+// handles are dropped without any flush. Acknowledged data is already on
+// disk (Append fsyncs before acking); nothing else may be written.
+func (m *Manager) abandon() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	for _, st := range m.snapshotStreams() {
+		st.mu.Lock()
+		if n := len(st.segs); n > 0 && st.segs[n-1].f != nil {
+			st.segs[n-1].f.Close() // release the fd; no sync
+			st.segs[n-1].f = nil
+		}
+		st.mu.Unlock()
+	}
+}
+
+func (m *Manager) snapshotStreams() []*Stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		out = append(out, st)
+	}
+	return out
+}

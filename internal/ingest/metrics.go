@@ -1,0 +1,38 @@
+package ingest
+
+import "loggrep/internal/obsv"
+
+// Ingest metrics, registered in obsv.Default so they ride the existing
+// /metrics endpoint and flight-recorder counter deltas. Every name here
+// is documented in OPERATIONS.md and INGEST.md; keep them in sync.
+var (
+	mBatches = obsv.Default.Counter("loggrep_ingest_batches_total",
+		"Ingest batches durably acknowledged")
+	mLines = obsv.Default.Counter("loggrep_ingest_lines_total",
+		"Log lines durably acknowledged")
+	mBytes = obsv.Default.Counter("loggrep_ingest_bytes_total",
+		"Raw log bytes durably acknowledged (including line terminators)")
+	mRejected = obsv.Default.Counter("loggrep_ingest_rejected_total",
+		"Batches refused with backpressure because a tenant's raw-tail budget was full")
+	mFsyncs = obsv.Default.Counter("loggrep_ingest_fsyncs_total",
+		"WAL fsyncs performed before acknowledging batches")
+	mSeals = obsv.Default.Counter("loggrep_ingest_seals_total",
+		"Raw segments sealed into compressed archive segments")
+	mSealFailures = obsv.Default.Counter("loggrep_ingest_seal_failures_total",
+		"Seal attempts that failed and will be retried (segment stays raw and queryable)")
+	mSealedRawBytes = obsv.Default.Counter("loggrep_ingest_sealed_raw_bytes_total",
+		"Raw bytes compressed out of the tail by sealing")
+	mSealedCompBytes = obsv.Default.Counter("loggrep_ingest_sealed_compressed_bytes_total",
+		"Compressed bytes written as sealed archive segments")
+	mReplayedSegments = obsv.Default.Counter("loggrep_ingest_replayed_segments_total",
+		"WAL segments recovered into the raw tail at startup")
+	mReplayedLines = obsv.Default.Counter("loggrep_ingest_replayed_lines_total",
+		"Acknowledged lines recovered from WAL segments at startup")
+
+	hBatchNS = obsv.Default.Histogram("loggrep_ingest_batch_ns", "ns",
+		"Durable batch-append latency (WAL write + fsync)")
+	hFsyncNS = obsv.Default.Histogram("loggrep_ingest_fsync_ns", "ns",
+		"WAL fsync latency")
+	hSealNS = obsv.Default.Histogram("loggrep_ingest_seal_ns", "ns",
+		"Seal latency: compress + publish + cleanup for one segment")
+)

@@ -1,0 +1,143 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+
+	"loggrep/internal/archive"
+	"loggrep/internal/core"
+	"loggrep/internal/query"
+)
+
+// Result is a stream query result with stream-global line numbers:
+// segments in ascending sequence order, lines numbered from 0 at the
+// stream's first ever line. Sealing replaces a raw segment with its
+// archive in place, so a line's number never changes.
+type Result struct {
+	Lines   []int
+	Entries []string
+	// Damaged lists sealed-segment regions lost to storage corruption,
+	// line ranges rebased to stream-global numbers.
+	Damaged []archive.BlockError
+	// Partial marks a result cut short by the work budget or a raw-tail
+	// scan abort; returned matches are verified exact, later ones may be
+	// missing — degraded, never wrong.
+	Partial       bool
+	PartialReason string
+}
+
+// segView is an immutable snapshot of one segment for a query: either an
+// archive or a raw line slice (raw segments only ever append, so reading
+// a prefix outside the lock is safe).
+type segView struct {
+	base  int
+	arch  *archive.Archive
+	lines []string
+}
+
+// snapshot captures the stream's segments and line bases at one instant.
+func (st *Stream) snapshot() []segView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	views := make([]segView, 0, len(st.segs))
+	base := 0
+	for _, sg := range st.segs {
+		v := segView{base: base, arch: sg.arch}
+		if sg.arch == nil {
+			v.lines = sg.lines[:len(sg.lines):len(sg.lines)]
+		}
+		views = append(views, v)
+		base += sg.lineCount()
+	}
+	return views
+}
+
+// Query runs a grep-like command over the whole stream — sealed archive
+// segments (index-pruned, stamp-filtered, budgeted) and the raw tail
+// (scanned with the exact match semantics) — and merges matches in
+// stream-global line order. The view is consistent: every line
+// acknowledged before the call is searched exactly once, whether it has
+// been sealed yet or not. The budget applies per sealed segment; workers
+// bounds per-segment block parallelism (0 = GOMAXPROCS).
+func (st *Stream) Query(ctx context.Context, command string, workers int, budget core.Budget) (*Result, error) {
+	expr, err := query.Parse(command)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, v := range st.snapshot() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if v.arch != nil {
+			ar, err := v.arch.QueryContext(ctx, command, workers, budget)
+			if err != nil {
+				return nil, err
+			}
+			for i, ln := range ar.Lines {
+				res.Lines = append(res.Lines, v.base+ln)
+				res.Entries = append(res.Entries, ar.Entries[i])
+			}
+			for _, d := range ar.Damaged {
+				d.FirstLine += v.base
+				res.Damaged = append(res.Damaged, d)
+			}
+			if ar.Partial {
+				res.Partial = true
+				res.PartialReason = ar.PartialReason
+			}
+			continue
+		}
+		for i, line := range v.lines {
+			if i%1024 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if matchLine(expr, line) {
+				res.Lines = append(res.Lines, v.base+i)
+				res.Entries = append(res.Entries, line)
+			}
+		}
+	}
+	return res, nil
+}
+
+// matchLine evaluates the expression against one raw line with the exact
+// semantics (query.Search.MatchEntry) — the same oracle the compressed
+// path is tested against, so raw-tail and sealed matches always agree.
+func matchLine(e query.Expr, line string) bool {
+	switch x := e.(type) {
+	case *query.And:
+		return matchLine(x.L, line) && matchLine(x.R, line)
+	case *query.Or:
+		return matchLine(x.L, line) || matchLine(x.R, line)
+	case *query.Not:
+		return !matchLine(x.X, line)
+	case *query.Search:
+		return x.MatchEntry(line)
+	}
+	return false
+}
+
+// Entry reconstructs one line by stream-global number.
+func (st *Stream) Entry(line int) (string, error) {
+	if line < 0 {
+		return "", fmt.Errorf("ingest: line %d out of range", line)
+	}
+	for _, v := range st.snapshot() {
+		var n int
+		if v.arch != nil {
+			n = v.arch.NumLines()
+		} else {
+			n = len(v.lines)
+		}
+		if line < v.base+n {
+			if v.arch != nil {
+				return v.arch.Entry(line - v.base)
+			}
+			return v.lines[line-v.base], nil
+		}
+	}
+	return "", fmt.Errorf("ingest: line %d out of range", line)
+}

@@ -1,0 +1,212 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"loggrep/internal/archive"
+	"loggrep/internal/flightrec"
+)
+
+// kickSealer nudges the sealer without blocking (it also wakes on its
+// poll ticker, so a missed kick only delays a seal, never loses one).
+func (m *Manager) kickSealer() {
+	select {
+	case m.sealNow <- struct{}{}:
+	default:
+	}
+}
+
+// sealer is the background loop: it rolls aged active segments and seals
+// every closed raw segment, oldest first, one stream at a time.
+// Compression itself parallelizes across blocks inside archive.Compress.
+func (m *Manager) sealer() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.SealInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.sealNow:
+		case <-tick.C:
+		}
+		for _, st := range m.snapshotStreams() {
+			st.rollAged(m.cfg.SealAge)
+			// Errors are already counted (mSealFailures) and the segment
+			// stays raw and queryable; the next tick retries.
+			_ = st.sealPending(m.stop)
+		}
+	}
+}
+
+// rollAged closes the active segment once it has outlived SealAge, so
+// low-rate streams still reach compressed, indexed form promptly.
+func (st *Stream) rollAged(age time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := len(st.segs); n > 0 {
+		sg := st.segs[n-1]
+		if sg.f != nil && len(sg.lines) > 0 && time.Since(sg.born) >= age {
+			st.rollLocked()
+		}
+	}
+}
+
+// sealPending seals every closed raw segment in sequence order, returning
+// the first seal error (the segment stays raw and the next pass retries).
+// stop (may be nil) aborts between segments on shutdown.
+func (st *Stream) sealPending(stop <-chan struct{}) error {
+	for {
+		if stop != nil {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+		}
+		sg := st.claimNext()
+		if sg == nil {
+			return nil
+		}
+		if err := st.sealOne(sg); err != nil {
+			mSealFailures.Inc()
+			// Leave the segment raw (still queryable, still on disk as
+			// WAL); the next pass retries. Test failpoints land here too.
+			st.mu.Lock()
+			sg.sealing = false
+			st.mu.Unlock()
+			return err
+		}
+	}
+}
+
+// claimNext marks the oldest sealable raw segment as being sealed and
+// returns it, nil if none.
+func (st *Stream) claimNext() *segment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, sg := range st.segs {
+		if sg.arch == nil && sg.f == nil && !sg.sealing {
+			sg.sealing = true
+			return sg
+		}
+	}
+	return nil
+}
+
+// sealOne rolls one closed raw segment into a sealed archive. The
+// protocol is crash-safe at every step:
+//
+//  1. compress the segment's lines into a v2 archive (templates mined by
+//     the sample-based parser; block-skipping index sections appended) —
+//     all in memory, nothing on disk yet;
+//  2. publish seg-N.lgrep with an atomic temp+rename
+//     (flightrec.AtomicWriteFile) — a crash before the rename leaves only
+//     a temp file (removed on replay) and the intact WAL;
+//  3. remove wal-N.wal — a crash before this leaves both files, and
+//     replay resolves the pair in the archive's favor, deleting the WAL.
+//
+// The WAL and the archive share the sequence number, so "both exist"
+// always means "seal completed, cleanup didn't", never a duplicate.
+func (st *Stream) sealOne(sg *segment) error {
+	t0 := time.Now()
+	raw := make([]byte, 0, sg.rawBytes)
+	for _, l := range sg.lines {
+		raw = append(raw, l...)
+		raw = append(raw, '\n')
+	}
+	data, err := archive.Compress(raw, st.m.cfg.Archive)
+	if err != nil {
+		return err
+	}
+	if err := st.m.hook("compressed"); err != nil {
+		return err
+	}
+	if err := flightrec.AtomicWriteFile(segPath(st.dir, sg.seq), data, 0o644); err != nil {
+		return err
+	}
+	if err := st.m.hook("published"); err != nil {
+		return err
+	}
+	// Cleanup failures are deliberately not fatal: the archive is
+	// published, so replay will finish the job.
+	os.Remove(walPath(st.dir, sg.seq))
+	if err := st.m.hook("cleaned"); err != nil {
+		return err
+	}
+	a, err := archive.Open(data)
+	if err != nil {
+		// The bytes on disk came from our own writer; failing to reopen
+		// them is a bug, not an operational state. Keep serving the raw
+		// lines (no data loss) and surface the failure.
+		return fmt.Errorf("ingest: reopen sealed segment %d: %w", sg.seq, err)
+	}
+	st.mu.Lock()
+	sg.arch = a
+	sg.numLines = a.NumLines()
+	sg.sealedBytes = int64(len(data))
+	freed := sg.rawBytes
+	sg.lines, sg.rawBytes = nil, 0
+	sg.sealing = false
+	st.mu.Unlock()
+	st.m.tenantAdd(st.tenant, -freed)
+	mSeals.Inc()
+	mSealedRawBytes.Add(freed)
+	mSealedCompBytes.Add(int64(len(data)))
+	hSealNS.Observe(time.Since(t0).Nanoseconds())
+	return nil
+}
+
+// hook runs the test failpoint, nil-safe.
+func (m *Manager) hook(stage string) error {
+	if m.cfg.sealHook == nil {
+		return nil
+	}
+	return m.cfg.sealHook(stage)
+}
+
+// TriggerSeal synchronously rolls the stream's active segment and seals
+// the whole raw tail. Operators use it (POST /ingest/seal) to force a
+// stream into queryable-archive form — e.g. before copying segments off
+// the box — and tests use it for deterministic sealing.
+func (m *Manager) TriggerSeal(tenant, stream string) error {
+	m.mu.Lock()
+	st := m.streams[tenant+"/"+stream]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if st == nil {
+		return fmt.Errorf("%w: no such stream %s/%s", ErrBadInput, tenant, stream)
+	}
+	st.mu.Lock()
+	st.rollLocked()
+	st.mu.Unlock()
+	// The background sealer may hold claims on some segments; seal what
+	// is claimable here and briefly wait out the rest.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if err := st.sealPending(nil); err != nil {
+			return fmt.Errorf("ingest: seal %s/%s: %w", tenant, stream, err)
+		}
+		st.mu.Lock()
+		var raw *segment
+		for _, sg := range st.segs {
+			if sg.arch == nil {
+				raw = sg
+				break
+			}
+		}
+		st.mu.Unlock()
+		if raw == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ingest: seal %s/%s: segment %d still raw", tenant, stream, raw.seq)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

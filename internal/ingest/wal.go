@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"loggrep/internal/logparse"
+)
+
+// WAL segment files hold the raw tail of a stream between acknowledgement
+// and sealing. Each file starts with walMagic and then carries one record
+// per acknowledged batch:
+//
+//	uvarint payload length | 4-byte CRC32C(payload) | payload
+//
+// where the payload is the batch's lines, each '\n'-terminated. A record
+// is fsynced before its batch is acknowledged, so replay recovers every
+// acknowledged line; a torn or corrupt trailing record belongs to an
+// unacknowledged batch and is dropped whole.
+const walMagic = "LGWAL1\n"
+
+// maxWALRecord bounds a single record's decoded size so a corrupt length
+// field cannot drive a huge allocation during replay.
+const maxWALRecord = 256 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.wal", seq))
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.lgrep", seq))
+}
+
+// encodeWALRecord frames one batch payload.
+func encodeWALRecord(payload []byte) []byte {
+	rec := binary.AppendUvarint(nil, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	rec = append(rec, crc[:]...)
+	return append(rec, payload...)
+}
+
+// decodeWAL replays one WAL file's bytes into lines. Decoding stops —
+// without error — at the first torn, truncated, or checksum-failing
+// record: everything before it was acknowledged (the fsync preceded the
+// ack), everything from it on was not, so dropping the tail loses no
+// acknowledged data. A missing or wrong file magic yields no lines.
+func decodeWAL(data []byte) (lines []string, bytes int64) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0
+	}
+	data = data[len(walMagic):]
+	for len(data) > 0 {
+		n, w := binary.Uvarint(data)
+		if w <= 0 || n > maxWALRecord {
+			break
+		}
+		rest := data[w:]
+		if len(rest) < 4 {
+			break
+		}
+		want := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(len(rest)) < n {
+			break
+		}
+		payload := rest[:n]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break
+		}
+		for _, l := range logparse.SplitLines(payload) {
+			lines = append(lines, l)
+			bytes += int64(len(l)) + 1
+		}
+		data = rest[n:]
+	}
+	return lines, bytes
+}
+
+// createWAL opens a fresh WAL segment file and writes its magic. O_EXCL:
+// a sequence number is never reused, so an existing file means state
+// corruption and must surface, not be silently overwritten.
+func createWAL(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}

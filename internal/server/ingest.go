@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"loggrep/internal/core"
+	"loggrep/internal/ingest"
+)
+
+// ingestSource adapts a live ingest stream to the querier interface so
+// /v1/query, /v1/count and /v1/entry serve it like any loaded source.
+// Ingest queries are not traced (no per-stage spans yet); the wide event
+// still carries outcome, duration and admission state.
+type ingestSource struct{ st *ingest.Stream }
+
+func (s *ingestSource) query(ctx context.Context, cmd string, traced bool, budget core.Budget) (*queryResult, error) {
+	res, err := s.st.Query(ctx, cmd, 0, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &queryResult{
+		lines: res.Lines, entries: res.Entries, damaged: res.Damaged,
+		partial: res.Partial, partialReason: res.PartialReason,
+	}, nil
+}
+
+func (s *ingestSource) count(ctx context.Context, cmd string) (matches, damaged int, err error) {
+	res, err := s.st.Query(ctx, cmd, 0, core.Budget{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(res.Lines), len(res.Damaged), nil
+}
+
+func (s *ingestSource) entry(line int) (string, error) {
+	return s.st.Entry(line)
+}
+
+// ingestResponse is the POST /ingest body: how many lines were durably
+// acknowledged, per stream. On a 429 the counts are still authoritative —
+// everything counted was accepted before the budget filled; resend the
+// rest.
+type ingestResponse struct {
+	Accepted  int            `json:"accepted"`
+	Streams   map[string]int `json:"streams,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// handleIngest is the write path: POST /ingest?tenant=T&stream=S with a
+// body of newline-separated log lines (or NDJSON records with
+// Content-Type: application/x-ndjson). The batch is WAL-appended and
+// fsynced before the 200 — an acknowledged line survives a crash.
+// Admission control applies as for queries (503 draining, 429 when the
+// wait queue is full), and a full tenant buffer answers 429 +
+// Retry-After: the admission layer's backpressure contract extended to
+// memory, not just concurrency.
+func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	ev := sv.startEvent(r, "ingest")
+	tenant := paramOr(r, "tenant", "default")
+	stream := paramOr(r, "stream", "default")
+	if ev != nil {
+		ev.Source = tenant + "/" + stream
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		sv.finishEvent(ev, t0, admitState{}, http.StatusMethodNotAllowed, "")
+		return
+	}
+	if sv.Ingest == nil {
+		msg := "ingest disabled (start loggrepd with -ingest)"
+		httpError(w, http.StatusNotFound, msg)
+		sv.finishEvent(ev, t0, admitState{}, http.StatusNotFound, msg)
+		return
+	}
+	release, adm, ok := sv.admit(w, r)
+	if !ok {
+		sv.finishEvent(ev, t0, adm, adm.status, "")
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(MaxIngestBytes)+1))
+	if err != nil {
+		msg := "read body: " + err.Error()
+		httpError(w, http.StatusBadRequest, msg)
+		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, msg)
+		return
+	}
+	if len(body) > MaxIngestBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch too large")
+		sv.finishEvent(ev, t0, adm, http.StatusRequestEntityTooLarge, "batch too large")
+		return
+	}
+	batch, err := ingest.ParseBatch(r.Header.Get("Content-Type"), body, stream)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := ingestResponse{Streams: map[string]int{}}
+	var appendErr error
+	for _, s := range batch.Streams {
+		if appendErr = sv.Ingest.Append(tenant, s, batch.Groups[s]); appendErr != nil {
+			break
+		}
+		resp.Accepted += len(batch.Groups[s])
+		resp.Streams[tenant+"/"+s] = len(batch.Groups[s])
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	if len(resp.Streams) == 0 {
+		resp.Streams = nil
+	}
+	if ev != nil {
+		ev.Matches = int64(resp.Accepted) // accepted lines, the ingest "result size"
+	}
+	status := http.StatusOK
+	switch {
+	case errors.Is(appendErr, ingest.ErrBackpressure):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(appendErr, ingest.ErrBadInput):
+		status = http.StatusBadRequest
+	case appendErr != nil:
+		status = http.StatusInternalServerError
+	}
+	var errMsg string
+	if appendErr != nil {
+		errMsg = appendErr.Error()
+		resp.Error = errMsg
+	}
+	writeJSON(w, status, resp)
+	sv.finishEvent(ev, t0, adm, status, errMsg)
+}
+
+// handleIngestSeal forces a stream's raw tail into sealed archive
+// segments: POST /ingest/seal?tenant=T&stream=S blocks until every
+// segment of the stream is a sealed, index-bearing archive on disk.
+// Operators use it before copying segments off the box; the INGEST.md
+// quickstart uses it to make `loggrep query` over a sealed segment
+// deterministic.
+func (sv *Server) handleIngestSeal(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	ev := sv.startEvent(r, "ingest_seal")
+	tenant := paramOr(r, "tenant", "default")
+	stream := paramOr(r, "stream", "default")
+	if ev != nil {
+		ev.Source = tenant + "/" + stream
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		sv.finishEvent(ev, t0, admitState{}, http.StatusMethodNotAllowed, "")
+		return
+	}
+	if sv.Ingest == nil {
+		msg := "ingest disabled (start loggrepd with -ingest)"
+		httpError(w, http.StatusNotFound, msg)
+		sv.finishEvent(ev, t0, admitState{}, http.StatusNotFound, msg)
+		return
+	}
+	release, adm, ok := sv.admit(w, r)
+	if !ok {
+		sv.finishEvent(ev, t0, adm, adm.status, "")
+		return
+	}
+	defer release()
+	err := sv.Ingest.TriggerSeal(tenant, stream)
+	switch {
+	case errors.Is(err, ingest.ErrBadInput):
+		httpError(w, http.StatusNotFound, err.Error())
+		sv.finishEvent(ev, t0, adm, http.StatusNotFound, err.Error())
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		sv.finishEvent(ev, t0, adm, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"sealed":     tenant + "/" + stream,
+			"elapsed_ms": float64(time.Since(t0).Microseconds()) / 1000,
+		})
+		sv.finishEvent(ev, t0, adm, http.StatusOK, "")
+	}
+}
+
+func paramOr(r *http.Request, name, def string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return def
+}

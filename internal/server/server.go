@@ -18,12 +18,19 @@ import (
 	"loggrep/internal/archive"
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
+	"loggrep/internal/ingest"
 	"loggrep/internal/obsv"
 	"loggrep/internal/version"
 )
 
 // MaxUploadBytes bounds PUT bodies.
 const MaxUploadBytes = 1 << 30
+
+// MaxIngestBytes bounds one POST /ingest batch body. Far above the
+// useful batch size (a few MB amortizes the WAL fsync); far below
+// anything that could blow up resident memory. A variable only so tests
+// can shrink it.
+var MaxIngestBytes = 64 << 20
 
 // source is one loaded compressed dataset. Store and Archive synchronize
 // internally, so sources need no lock of their own and queries against
@@ -40,6 +47,15 @@ func (s *source) numLines() int {
 		return s.arch.NumLines()
 	}
 	return s.box.NumLines()
+}
+
+// querier is what the query/count/entry handlers need from a resolved
+// source; implemented by loaded boxes/archives (source) and by live
+// ingest streams (ingestSource).
+type querier interface {
+	query(ctx context.Context, cmd string, traced bool, budget core.Budget) (*queryResult, error)
+	count(ctx context.Context, cmd string) (matches, damaged int, err error)
+	entry(line int) (string, error)
 }
 
 // queryResult is the normalized outcome of a query against either kind of
@@ -144,6 +160,12 @@ type Server struct {
 	// Events, setting it forces traced query execution. All recorder
 	// methods are nil-safe, so handlers call through unconditionally.
 	FlightRec *flightrec.Recorder
+	// Ingest, when set, enables the write path: POST /ingest appends
+	// batches into per-tenant/stream WAL buffers and POST /ingest/seal
+	// forces a stream's raw tail into sealed archive segments. Ingest
+	// streams are queryable through /v1/query et al. under the source
+	// name "tenant/stream" (loggrepd -ingest).
+	Ingest *ingest.Manager
 
 	mu      sync.RWMutex
 	sources map[string]*source
@@ -212,6 +234,8 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", sv.instrument("query", sv.handleQuery))
 	mux.HandleFunc("/v1/count", sv.instrument("count", sv.handleCount))
 	mux.HandleFunc("/v1/entry", sv.instrument("entry", sv.handleEntry))
+	mux.HandleFunc("/ingest", sv.instrument("ingest", sv.handleIngest))
+	mux.HandleFunc("/ingest/seal", sv.instrument("ingest_seal", sv.handleIngestSeal))
 	mux.HandleFunc("/debug/flightrec", sv.instrument("flightrec", sv.handleFlightRec))
 	mux.HandleFunc("/debug/dump", sv.instrument("dump", sv.handleDump))
 	if sv.Pprof {
@@ -236,7 +260,7 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeJSON(w, code, map[string]any{
+	payload := map[string]any{
 		"status":           status,
 		"sources":          n,
 		"uptime_seconds":   int64(time.Since(sv.start).Seconds()),
@@ -244,7 +268,11 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"goroutines":       runtime.NumGoroutine(),
 		"heap_inuse_bytes": ms.HeapInuse,
 		"gc_pause_ns":      ms.PauseTotalNs,
-	})
+	}
+	if sv.Ingest != nil {
+		payload["ingest_streams"] = len(sv.Ingest.Snapshot())
+	}
+	writeJSON(w, code, payload)
 }
 
 // handleFlightRec serves the flight recorder's live status; with the
@@ -292,12 +320,13 @@ type SourceInfo struct {
 	RawSize int    `json:"raw_bytes,omitempty"`
 }
 
-// SourcesSummary snapshots the loaded sources, name-sorted. loggrepd wires
+// SourcesSummary snapshots the loaded sources, name-sorted, plus every
+// live ingest stream (kind "ingest": Blocks counts sealed segments, Bytes
+// their compressed size, RawSize the unsealed raw tail). loggrepd wires
 // it as the flight recorder's StateFn so every bundle records what data
 // the process was serving.
 func (sv *Server) SourcesSummary() []SourceInfo {
 	sv.mu.RLock()
-	defer sv.mu.RUnlock()
 	out := make([]SourceInfo, 0, len(sv.sources))
 	for name, s := range sv.sources {
 		info := SourceInfo{Name: name, Kind: "box", Lines: s.numLines(), Bytes: s.bytes}
@@ -307,6 +336,19 @@ func (sv *Server) SourcesSummary() []SourceInfo {
 			info.RawSize = s.arch.RawBytes()
 		}
 		out = append(out, info)
+	}
+	sv.mu.RUnlock()
+	if sv.Ingest != nil {
+		for _, si := range sv.Ingest.Snapshot() {
+			out = append(out, SourceInfo{
+				Name:    si.Tenant + "/" + si.Stream,
+				Kind:    "ingest",
+				Lines:   si.Lines,
+				Bytes:   int(si.SealedSize),
+				Blocks:  si.SealedSegs,
+				RawSize: int(si.RawBytes),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -357,14 +399,31 @@ func (sv *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// resolveSource maps a source name to its querier: loaded boxes/archives
+// first, then — when ingest is enabled — live ingest streams under
+// "tenant/stream" (a bare "stream" means tenant "default"). nil when the
+// name resolves to nothing.
+func (sv *Server) resolveSource(name string) querier {
+	sv.mu.RLock()
+	src := sv.sources[name]
+	sv.mu.RUnlock()
+	if src != nil {
+		return src
+	}
+	if sv.Ingest != nil {
+		if st := sv.Ingest.Lookup(name); st != nil {
+			return &ingestSource{st: st}
+		}
+	}
+	return nil
+}
+
 // lookup resolves the source and command of a query request. On failure the
 // error response has been written and errStatus/errMsg describe it (for the
 // request's wide event); errStatus is 0 on success.
-func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (src *source, cmd string, errStatus int, errMsg string) {
+func (sv *Server) lookup(w http.ResponseWriter, r *http.Request) (src querier, cmd string, errStatus int, errMsg string) {
 	name := r.URL.Query().Get("source")
-	sv.mu.RLock()
-	src = sv.sources[name]
-	sv.mu.RUnlock()
+	src = sv.resolveSource(name)
 	if src == nil {
 		msg := "no such source " + strconv.Quote(name)
 		httpError(w, http.StatusNotFound, msg)
@@ -577,10 +636,7 @@ func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("source")
-	sv.mu.RLock()
-	src := sv.sources[name]
-	sv.mu.RUnlock()
+	src := sv.resolveSource(r.URL.Query().Get("source"))
 	if src == nil {
 		httpError(w, http.StatusNotFound, "no such source")
 		return
