@@ -106,6 +106,7 @@ func main() {
 	ingestSealMB := flag.Int64("ingest-seal-mb", 4, "seal a stream's raw segment once it reaches this many megabytes")
 	ingestSealAge := flag.Duration("ingest-seal-age", 30*time.Second, "seal a non-empty raw segment this long after its first line, even if under -ingest-seal-mb")
 	ingestMaxTenantMB := flag.Int64("ingest-max-tenant-mb", 64, "per-tenant bound on unsealed raw-tail megabytes; appends past it get 429 + Retry-After")
+	ingestMaxSealedMB := flag.Int64("ingest-max-sealed-mb", 256, "bound on sealed-archive megabytes kept resident in memory; colder segments reload from disk on query")
 	ingestNoFsync := flag.Bool("ingest-no-fsync", false, "skip the WAL fsync before acknowledging batches (faster; a host crash may lose acknowledged data)")
 	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
 	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
@@ -141,6 +142,7 @@ func main() {
 			SealBytes:      *ingestSealMB << 20,
 			SealAge:        *ingestSealAge,
 			MaxTenantBytes: *ingestMaxTenantMB << 20,
+			MaxSealedBytes: *ingestMaxSealedMB << 20,
 			NoFsync:        *ingestNoFsync,
 		})
 		if err != nil {

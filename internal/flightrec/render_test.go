@@ -211,3 +211,32 @@ func TestAtomicWriteFile(t *testing.T) {
 		t.Errorf("dir has %d entries, want 1", len(entries))
 	}
 }
+
+func TestAtomicWriteFileSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFileSync(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFileSync(path, []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Errorf("mode %v, want 0600", st.Mode().Perm())
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1", len(entries))
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}

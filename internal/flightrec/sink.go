@@ -33,6 +33,54 @@ func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	return err
 }
 
+// AtomicWriteFileSync is AtomicWriteFile with host-crash durability: the
+// temp file is fsynced before the rename and the containing directory
+// after it, so once it returns neither a process kill nor a host crash
+// or power loss can lose the file or resurface the old bytes. Use it
+// when something else is deleted on the strength of this file existing
+// (the ingest sealer deletes the WAL only after this returns).
+func AtomicWriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, perm)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making its entries (renames, creates,
+// removes) durable against a host crash. File fsyncs do not cover the
+// directory entry that names the file; callers that must not lose a
+// freshly created or renamed file pair the file's own fsync with this.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // RotatingFile is a size-bounded append-only file sink: when a write
 // would push the file past maxBytes, the current file is renamed to
 // path+".1" (replacing the previous generation) and a fresh file starts.

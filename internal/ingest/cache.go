@@ -1,0 +1,104 @@
+package ingest
+
+import (
+	"container/list"
+	"os"
+	"sync"
+
+	"loggrep/internal/archive"
+)
+
+// archCache bounds how many sealed-archive bytes stay resident in memory
+// across all of a Manager's streams. Sealing and replay admit archives;
+// queries look them up and transparently reload evicted ones from disk.
+// Without the bound a long-running ingest server's memory would grow with
+// total ingested volume (every sealed segment held forever); with it,
+// resident sealed bytes stay under Config.MaxSealedBytes and cold
+// segments cost one file read on their next query.
+//
+// Eviction drops only the cache's reference: a query already holding the
+// archive keeps it alive until it finishes, so there is no use-after-free
+// hazard, just garbage collection.
+type archCache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	lru   *list.List                 // front = most recently used
+	ents  map[*segment]*list.Element // element value: *cacheEnt
+}
+
+type cacheEnt struct {
+	sg   *segment
+	arch *archive.Archive
+	size int64
+}
+
+func newArchCache(max int64) *archCache {
+	return &archCache{max: max, lru: list.New(), ents: map[*segment]*list.Element{}}
+}
+
+// admit inserts a freshly opened archive and evicts least-recently-used
+// entries past the byte bound. The entry being admitted is never evicted
+// by its own admission, so a single segment larger than the whole bound
+// still serves the query that loaded it.
+func (c *archCache) admit(sg *segment, a *archive.Archive, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.ents[sg]; ok {
+		// A racing loader got here first; keep the incumbent.
+		c.lru.MoveToFront(e)
+		return
+	}
+	e := c.lru.PushFront(&cacheEnt{sg: sg, arch: a, size: size})
+	c.ents[sg] = e
+	c.bytes += size
+	for c.bytes > c.max && c.lru.Len() > 1 {
+		old := c.lru.Back()
+		ent := old.Value.(*cacheEnt)
+		c.lru.Remove(old)
+		delete(c.ents, ent.sg)
+		c.bytes -= ent.size
+		mSealedEvictions.Inc()
+	}
+}
+
+// get returns the segment's resident archive, nil when evicted or never
+// admitted. A hit refreshes recency.
+func (c *archCache) get(sg *segment) *archive.Archive {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.ents[sg]; ok {
+		c.lru.MoveToFront(e)
+		return e.Value.(*cacheEnt).arch
+	}
+	return nil
+}
+
+// resident reports the cache's current byte footprint (tests,
+// diagnostics).
+func (c *archCache) resident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// archive returns sg's sealed archive, reloading it from disk (and
+// re-admitting it to the resident cache) after an eviction. sg must be
+// sealed. Concurrent loaders may both read the file; admit keeps one.
+func (st *Stream) archive(sg *segment) (*archive.Archive, error) {
+	if a := st.m.cache.get(sg); a != nil {
+		mSealedCacheHits.Inc()
+		return a, nil
+	}
+	mSealedCacheMisses.Inc()
+	data, err := os.ReadFile(segPath(st.dir, sg.seq))
+	if err != nil {
+		return nil, err
+	}
+	a, err := archive.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	st.m.cache.admit(sg, a, int64(len(data)))
+	return a, nil
+}

@@ -4,13 +4,17 @@
 // acknowledged, replayed on startup — and seal closed segments in the
 // background into compressed v2 archives, templates mined by the
 // sample-based parser and block-skipping index sections included, published
-// with the same atomic temp+rename primitive the flight recorder uses.
+// with a durable variant of the flight recorder's atomic temp+rename
+// primitive (temp file and directory fsynced before the WAL is deleted,
+// so a host crash cannot lose what the WAL no longer holds).
 //
 // Sealed archives and the raw tail answer queries as one consistent
-// stream with stable global line numbers, and a bounded per-tenant
-// raw-buffer budget turns overload into explicit backpressure
-// (ErrBackpressure, surfaced by loggrepd as 429 + Retry-After) instead of
-// unbounded memory growth. INGEST.md is the operator handbook; DESIGN.md
+// stream with stable global line numbers. Memory stays bounded in both
+// directions: a per-tenant raw-buffer budget turns write overload into
+// explicit backpressure (ErrBackpressure, surfaced by loggrepd as 429 +
+// Retry-After), and sealed archives live in an LRU cache capped by
+// Config.MaxSealedBytes, reloaded from disk on demand, so resident
+// memory does not grow with total ingested history. INGEST.md is the operator handbook; DESIGN.md
 // §2.6 documents the on-disk raw-segment layout and the seal protocol's
 // crash-safety argument.
 package ingest

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"loggrep/internal/archive"
+	"loggrep/internal/flightrec"
 )
 
 // ErrBackpressure reports a batch refused because the tenant's raw-buffer
@@ -48,12 +49,20 @@ type Config struct {
 	// across all its streams (default 64 MB). Appends past the bound fail
 	// with ErrBackpressure.
 	MaxTenantBytes int64
+	// MaxSealedBytes bounds the sealed-archive (compressed) bytes kept
+	// resident in memory across all streams (default 256 MB). Segments
+	// past the bound are evicted least-recently-used and transparently
+	// reloaded from disk by the next query touching them, so total
+	// ingested volume no longer grows process memory — only disk.
+	MaxSealedBytes int64
 	// Archive configures seal-time compression; the zero value means
 	// archive.DefaultOptions() (v2 frames + block-skipping index).
 	Archive archive.Options
-	// NoFsync skips the fsync before each batch acknowledgement.
-	// Throughput rises; a host crash may then lose acknowledged batches
-	// (a process crash still cannot). Benchmarks only.
+	// NoFsync skips every durability fsync: the WAL fsync before each
+	// batch acknowledgement, the directory fsyncs that pin fresh WAL
+	// files, and the seal-time archive/directory fsyncs. Throughput
+	// rises; a host crash may then lose acknowledged batches (a process
+	// crash still cannot). Benchmarks only.
 	NoFsync bool
 	// SealInterval is the background sealer's poll cadence (default
 	// 250ms).
@@ -63,6 +72,10 @@ type Config struct {
 	// "published", "cleaned") and aborts the seal on error. Crash-safety
 	// tests use it to simulate a kill at every point of the protocol.
 	sealHook func(stage string) error
+	// walSyncHook, when set, runs after each WAL fsync; an error is
+	// treated as a fsync failure. Tests use it to exercise the NACK
+	// rollback path.
+	walSyncHook func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTenantBytes <= 0 {
 		c.MaxTenantBytes = 64 << 20
+	}
+	if c.MaxSealedBytes <= 0 {
+		c.MaxSealedBytes = 256 << 20
 	}
 	if c.Archive == (archive.Options{}) {
 		c.Archive = archive.DefaultOptions()
@@ -91,22 +107,29 @@ func (c Config) withDefaults() Config {
 type segment struct {
 	seq uint64
 
-	// Raw state (arch == nil). lines is append-only while active and
-	// immutable once closed; f is non-nil only while active.
+	// Raw state (!sealed). lines is append-only while active and
+	// immutable once closed; f is non-nil only while active; walOff is
+	// the durable (acknowledged) byte length of the WAL file, the
+	// truncation point should a later write or fsync fail.
 	lines    []string
 	rawBytes int64
 	f        *os.File
+	walOff   int64
 	born     time.Time
 	sealing  bool
+	failures int       // consecutive seal failures, drives retry backoff
+	retryAt  time.Time // earliest next background seal attempt
 
-	// Sealed state.
-	arch        *archive.Archive
+	// Sealed state. The archive itself lives in the Manager's bounded
+	// resident cache (see cache.go) and is reloaded from seg-N.lgrep on
+	// demand; only the counts stay pinned here.
+	sealed      bool
 	numLines    int
 	sealedBytes int64
 }
 
 func (sg *segment) lineCount() int {
-	if sg.arch != nil {
+	if sg.sealed {
 		return sg.numLines
 	}
 	return len(sg.lines)
@@ -142,6 +165,8 @@ type Manager struct {
 	tenants map[string]*int64  // unsealed raw-tail bytes per tenant
 	closed  bool
 
+	cache *archCache // resident sealed archives, bounded by MaxSealedBytes
+
 	stop    chan struct{}
 	done    chan struct{}
 	sealNow chan struct{}
@@ -175,6 +200,7 @@ func Open(cfg Config) (*Manager, *ReplayStats, error) {
 		cfg:     cfg,
 		streams: make(map[string]*Stream),
 		tenants: make(map[string]*int64),
+		cache:   newArchCache(cfg.MaxSealedBytes),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		sealNow: make(chan struct{}, 1),
@@ -252,6 +278,9 @@ func (m *Manager) replayStream(tenant, name string, stats *ReplayStats) (*Stream
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, q := range seqs {
 		if sealed[q] {
+			// Open to validate and count lines, then hand the archive to
+			// the bounded resident cache: replay memory peaks at one
+			// segment plus the cache cap, not the whole history.
 			data, err := os.ReadFile(segPath(dir, q))
 			if err != nil {
 				return nil, err
@@ -260,10 +289,12 @@ func (m *Manager) replayStream(tenant, name string, stats *ReplayStats) (*Stream
 			if err != nil {
 				return nil, fmt.Errorf("sealed segment %d: %w", q, err)
 			}
-			st.segs = append(st.segs, &segment{
-				seq: q, arch: a, numLines: a.NumLines(), sealedBytes: int64(len(data)),
-			})
-			st.appended += int64(a.NumLines())
+			sg := &segment{
+				seq: q, sealed: true, numLines: a.NumLines(), sealedBytes: int64(len(data)),
+			}
+			st.segs = append(st.segs, sg)
+			m.cache.admit(sg, a, int64(len(data)))
+			st.appended += int64(sg.numLines)
 			stats.SealedSegs++
 			if wals[q] {
 				// The seal's rename published before the crash; the WAL
@@ -405,6 +436,15 @@ func (m *Manager) stream(tenant, name string) (*Stream, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if !m.cfg.NoFsync {
+		// Pin the fresh tenant/stream directory entries; a WAL file whose
+		// parent directories vanish in a host crash is lost with them.
+		for _, d := range []string{filepath.Join(m.cfg.Dir, tenant), m.cfg.Dir} {
+			if err := flightrec.SyncDir(d); err != nil {
+				return nil, err
+			}
+		}
+	}
 	st := &Stream{tenant: tenant, name: name, dir: dir, m: m}
 	m.streams[key] = st
 	return st, nil
@@ -466,22 +506,25 @@ func (st *Stream) append(lines []string, add int64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sg.f.Write(encodeWALRecord(payload)); err != nil {
-		// A torn record may now sit at the segment's end. Replay drops
-		// it (CRC framing), but this process can no longer tell what is
-		// durable, so the stream latches the failure and refuses writes.
-		st.lastErr = fmt.Errorf("ingest: WAL write %s/%s: %w", st.tenant, st.name, err)
-		return st.lastErr
+	rec := encodeWALRecord(payload)
+	if _, err := sg.f.Write(rec); err != nil {
+		return st.walFailLocked(sg,
+			fmt.Errorf("ingest: WAL write %s/%s: %w", st.tenant, st.name, err))
 	}
 	if !st.m.cfg.NoFsync {
 		t0 := time.Now()
-		if err := sg.f.Sync(); err != nil {
-			st.lastErr = fmt.Errorf("ingest: WAL fsync %s/%s: %w", st.tenant, st.name, err)
-			return st.lastErr
+		err := sg.f.Sync()
+		if err == nil && st.m.cfg.walSyncHook != nil {
+			err = st.m.cfg.walSyncHook()
+		}
+		if err != nil {
+			return st.walFailLocked(sg,
+				fmt.Errorf("ingest: WAL fsync %s/%s: %w", st.tenant, st.name, err))
 		}
 		mFsyncs.Inc()
 		hFsyncNS.Observe(time.Since(t0).Nanoseconds())
 	}
+	sg.walOff += int64(len(rec))
 	sg.lines = append(sg.lines, lines...)
 	sg.rawBytes += add
 	st.appended += int64(len(lines))
@@ -490,6 +533,30 @@ func (st *Stream) append(lines []string, add int64) error {
 		st.m.kickSealer()
 	}
 	return nil
+}
+
+// walFailLocked handles a WAL write or fsync failure in the active
+// segment. The batch is NACKed either way; the point is keeping the NACK
+// honest across a restart: the failed record is rolled back — the file
+// truncated to the last acknowledged offset, the truncation fsynced, and
+// the segment closed so a fresh WAL takes future appends — so replay
+// cannot resurrect lines the client was told were refused (and will
+// therefore resend). Only if the rollback itself fails is the durable
+// state genuinely unknown; then the stream latches the error and refuses
+// appends, and a restart's replay may resurface the NACKed batch —
+// at-least-once, as documented in INGEST.md. The previously acknowledged
+// prefix is unaffected in both cases: each of its records was fsynced
+// before its ack. Caller holds st.mu.
+func (st *Stream) walFailLocked(sg *segment, cause error) error {
+	if terr := sg.f.Truncate(sg.walOff); terr == nil {
+		if serr := sg.f.Sync(); serr == nil {
+			st.rollLocked()
+			mWALRollbacks.Inc()
+			return cause
+		}
+	}
+	st.lastErr = cause
+	return cause
 }
 
 // activeLocked returns the active (open-file) segment, creating one if
@@ -504,12 +571,23 @@ func (st *Stream) activeLocked() (*segment, error) {
 		st.nextSeq = 1
 	}
 	seq := st.nextSeq
-	f, err := createWAL(walPath(st.dir, seq))
+	path := walPath(st.dir, seq)
+	f, err := createWAL(path)
 	if err != nil {
 		return nil, err
 	}
+	if !st.m.cfg.NoFsync {
+		// The file's own fsyncs (one per batch) do not pin its directory
+		// entry; without this a host crash could drop the whole WAL file,
+		// acknowledged records included.
+		if err := flightrec.SyncDir(st.dir); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
 	st.nextSeq++
-	sg := &segment{seq: seq, f: f, born: time.Now()}
+	sg := &segment{seq: seq, f: f, walOff: int64(len(walMagic)), born: time.Now()}
 	st.segs = append(st.segs, sg)
 	return sg, nil
 }
@@ -567,7 +645,7 @@ func (m *Manager) Snapshot() []Info {
 		info := Info{Tenant: st.tenant, Stream: st.name}
 		for _, sg := range st.segs {
 			info.Lines += sg.lineCount()
-			if sg.arch != nil {
+			if sg.sealed {
 				info.SealedSegs++
 				info.SealedSize += sg.sealedBytes
 			} else {

@@ -24,6 +24,14 @@ var (
 		"Raw bytes compressed out of the tail by sealing")
 	mSealedCompBytes = obsv.Default.Counter("loggrep_ingest_sealed_compressed_bytes_total",
 		"Compressed bytes written as sealed archive segments")
+	mWALRollbacks = obsv.Default.Counter("loggrep_ingest_wal_rollbacks_total",
+		"WAL records truncated away after a write/fsync failure so the NACKed batch cannot resurface at replay")
+	mSealedCacheHits = obsv.Default.Counter("loggrep_ingest_sealed_cache_hits_total",
+		"Sealed-segment queries served from the resident archive cache")
+	mSealedCacheMisses = obsv.Default.Counter("loggrep_ingest_sealed_cache_misses_total",
+		"Sealed-segment queries that reloaded an evicted archive from disk")
+	mSealedEvictions = obsv.Default.Counter("loggrep_ingest_sealed_cache_evictions_total",
+		"Sealed archives evicted from the resident cache to stay under -ingest-max-sealed-mb")
 	mReplayedSegments = obsv.Default.Counter("loggrep_ingest_replayed_segments_total",
 		"WAL segments recovered into the raw tail at startup")
 	mReplayedLines = obsv.Default.Counter("loggrep_ingest_replayed_lines_total",

@@ -26,13 +26,17 @@ type Result struct {
 	PartialReason string
 }
 
-// segView is an immutable snapshot of one segment for a query: either an
-// archive or a raw line slice (raw segments only ever append, so reading
-// a prefix outside the lock is safe).
+// segView is an immutable snapshot of one segment for a query: either a
+// sealed segment (its archive fetched through the Manager's bounded
+// resident cache at use time, reloading from disk after an eviction) or
+// a raw line slice (raw segments only ever append, so reading a prefix
+// outside the lock is safe).
 type segView struct {
-	base  int
-	arch  *archive.Archive
-	lines []string
+	base   int
+	n      int // line count at snapshot time
+	sealed bool
+	sg     *segment // sealed only; seq and sealed fields are frozen
+	lines  []string
 }
 
 // snapshot captures the stream's segments and line bases at one instant.
@@ -42,12 +46,12 @@ func (st *Stream) snapshot() []segView {
 	views := make([]segView, 0, len(st.segs))
 	base := 0
 	for _, sg := range st.segs {
-		v := segView{base: base, arch: sg.arch}
-		if sg.arch == nil {
+		v := segView{base: base, n: sg.lineCount(), sealed: sg.sealed, sg: sg}
+		if !sg.sealed {
 			v.lines = sg.lines[:len(sg.lines):len(sg.lines)]
 		}
 		views = append(views, v)
-		base += sg.lineCount()
+		base += v.n
 	}
 	return views
 }
@@ -69,8 +73,12 @@ func (st *Stream) Query(ctx context.Context, command string, workers int, budget
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if v.arch != nil {
-			ar, err := v.arch.QueryContext(ctx, command, workers, budget)
+		if v.sealed {
+			a, err := st.archive(v.sg)
+			if err != nil {
+				return nil, err
+			}
+			ar, err := a.QueryContext(ctx, command, workers, budget)
 			if err != nil {
 				return nil, err
 			}
@@ -126,15 +134,13 @@ func (st *Stream) Entry(line int) (string, error) {
 		return "", fmt.Errorf("ingest: line %d out of range", line)
 	}
 	for _, v := range st.snapshot() {
-		var n int
-		if v.arch != nil {
-			n = v.arch.NumLines()
-		} else {
-			n = len(v.lines)
-		}
-		if line < v.base+n {
-			if v.arch != nil {
-				return v.arch.Entry(line - v.base)
+		if line < v.base+v.n {
+			if v.sealed {
+				a, err := st.archive(v.sg)
+				if err != nil {
+					return "", err
+				}
+				return a.Entry(line - v.base)
 			}
 			return v.lines[line-v.base], nil
 		}

@@ -35,8 +35,8 @@ func (m *Manager) sealer() {
 		for _, st := range m.snapshotStreams() {
 			st.rollAged(m.cfg.SealAge)
 			// Errors are already counted (mSealFailures) and the segment
-			// stays raw and queryable; the next tick retries.
-			_ = st.sealPending(m.stop)
+			// stays raw and queryable; retries back off per segment.
+			_ = st.sealPending(m.stop, false, 0)
 		}
 	}
 }
@@ -55,9 +55,14 @@ func (st *Stream) rollAged(age time.Duration) {
 }
 
 // sealPending seals every closed raw segment in sequence order, returning
-// the first seal error (the segment stays raw and the next pass retries).
-// stop (may be nil) aborts between segments on shutdown.
-func (st *Stream) sealPending(stop <-chan struct{}) error {
+// the first seal error (the segment stays raw and is retried with
+// per-segment exponential backoff). stop (may be nil) aborts between
+// segments on shutdown; force ignores backoff windows (operator-triggered
+// seals should try now, not wait out a past failure's delay); bound > 0
+// restricts the pass to segments with seq <= bound, so a caller chasing a
+// fixed snapshot of the stream cannot be kept looping forever by freshly
+// rolled segments arriving behind it.
+func (st *Stream) sealPending(stop <-chan struct{}, force bool, bound uint64) error {
 	for {
 		if stop != nil {
 			select {
@@ -66,32 +71,59 @@ func (st *Stream) sealPending(stop <-chan struct{}) error {
 			default:
 			}
 		}
-		sg := st.claimNext()
+		sg := st.claimNext(force, bound)
 		if sg == nil {
 			return nil
 		}
 		if err := st.sealOne(sg); err != nil {
 			mSealFailures.Inc()
 			// Leave the segment raw (still queryable, still on disk as
-			// WAL); the next pass retries. Test failpoints land here too.
+			// WAL) and back off: each attempt re-compresses the whole
+			// segment, so hammering a persistently failing seal (disk
+			// full) every SealInterval burns CPU exactly when the host is
+			// least able to spare it. Test failpoints land here too.
 			st.mu.Lock()
 			sg.sealing = false
+			sg.failures++
+			sg.retryAt = time.Now().Add(sealBackoff(st.m.cfg.SealInterval, sg.failures))
 			st.mu.Unlock()
 			return err
 		}
 	}
 }
 
-// claimNext marks the oldest sealable raw segment as being sealed and
-// returns it, nil if none.
-func (st *Stream) claimNext() *segment {
+// sealBackoff doubles from the sealer's base cadence per consecutive
+// failure, capped at 30s.
+func sealBackoff(base time.Duration, failures int) time.Duration {
+	const max = 30 * time.Second
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// claimNext marks the oldest sealable raw segment and returns it, nil if
+// none. Unless force, segments inside their failure backoff window are
+// skipped; bound > 0 skips segments with seq > bound.
+func (st *Stream) claimNext(force bool, bound uint64) *segment {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for _, sg := range st.segs {
-		if sg.arch == nil && sg.f == nil && !sg.sealing {
-			sg.sealing = true
-			return sg
+		if sg.sealed || sg.f != nil || sg.sealing {
+			continue
 		}
+		if bound > 0 && sg.seq > bound {
+			continue
+		}
+		if !force && !sg.retryAt.IsZero() && time.Now().Before(sg.retryAt) {
+			continue
+		}
+		sg.sealing = true
+		return sg
 	}
 	return nil
 }
@@ -102,11 +134,19 @@ func (st *Stream) claimNext() *segment {
 //  1. compress the segment's lines into a v2 archive (templates mined by
 //     the sample-based parser; block-skipping index sections appended) —
 //     all in memory, nothing on disk yet;
-//  2. publish seg-N.lgrep with an atomic temp+rename
-//     (flightrec.AtomicWriteFile) — a crash before the rename leaves only
-//     a temp file (removed on replay) and the intact WAL;
+//  2. publish seg-N.lgrep with a durable atomic temp+rename
+//     (flightrec.AtomicWriteFileSync: temp file fsynced before the
+//     rename, directory fsynced after) — a crash before the rename
+//     leaves only a temp file (removed on replay) and the intact WAL;
 //  3. remove wal-N.wal — a crash before this leaves both files, and
 //     replay resolves the pair in the archive's favor, deleting the WAL.
+//
+// Step 2's fsyncs order the protocol against host crashes, not just
+// process kills: the WAL is deleted only once the archive's bytes AND
+// its directory entry are durable, so no interleaving of a crash with
+// the page cache can make the rename+unlink stick while the archive's
+// data blocks are lost. (With NoFsync the plain AtomicWriteFile is used
+// and that guarantee is waived, like every other fsync.)
 //
 // The WAL and the archive share the sequence number, so "both exist"
 // always means "seal completed, cleanup didn't", never a duplicate.
@@ -124,7 +164,11 @@ func (st *Stream) sealOne(sg *segment) error {
 	if err := st.m.hook("compressed"); err != nil {
 		return err
 	}
-	if err := flightrec.AtomicWriteFile(segPath(st.dir, sg.seq), data, 0o644); err != nil {
+	write := flightrec.AtomicWriteFileSync
+	if st.m.cfg.NoFsync {
+		write = flightrec.AtomicWriteFile
+	}
+	if err := write(segPath(st.dir, sg.seq), data, 0o644); err != nil {
 		return err
 	}
 	if err := st.m.hook("published"); err != nil {
@@ -144,13 +188,15 @@ func (st *Stream) sealOne(sg *segment) error {
 		return fmt.Errorf("ingest: reopen sealed segment %d: %w", sg.seq, err)
 	}
 	st.mu.Lock()
-	sg.arch = a
+	sg.sealed = true
 	sg.numLines = a.NumLines()
 	sg.sealedBytes = int64(len(data))
 	freed := sg.rawBytes
 	sg.lines, sg.rawBytes = nil, 0
 	sg.sealing = false
+	sg.failures, sg.retryAt = 0, time.Time{}
 	st.mu.Unlock()
+	st.m.cache.admit(sg, a, int64(len(data)))
 	st.m.tenantAdd(st.tenant, -freed)
 	mSeals.Inc()
 	mSealedRawBytes.Add(freed)
@@ -182,20 +228,33 @@ func (m *Manager) TriggerSeal(tenant, stream string) error {
 	if st == nil {
 		return fmt.Errorf("%w: no such stream %s/%s", ErrBadInput, tenant, stream)
 	}
+	// Bound the job to segments existing at entry: under continuous
+	// concurrent appends there is always a fresh active segment, and
+	// waiting for "no raw segments at all" would spin out the deadline
+	// even though sealing is healthy.
 	st.mu.Lock()
 	st.rollLocked()
+	var bound uint64
+	for _, sg := range st.segs {
+		if sg.seq > bound {
+			bound = sg.seq
+		}
+	}
 	st.mu.Unlock()
+	if bound == 0 {
+		return nil // nothing existed at entry; nothing to force
+	}
 	// The background sealer may hold claims on some segments; seal what
 	// is claimable here and briefly wait out the rest.
 	deadline := time.Now().Add(time.Minute)
 	for {
-		if err := st.sealPending(nil); err != nil {
+		if err := st.sealPending(nil, true, bound); err != nil {
 			return fmt.Errorf("ingest: seal %s/%s: %w", tenant, stream, err)
 		}
 		st.mu.Lock()
 		var raw *segment
 		for _, sg := range st.segs {
-			if sg.arch == nil {
+			if !sg.sealed && sg.seq <= bound {
 				raw = sg
 				break
 			}
