@@ -15,17 +15,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"loggrep"
 	"loggrep/internal/benchfmt"
+	"loggrep/internal/blobstore"
 	"loggrep/internal/costmodel"
+	"loggrep/internal/faultinject"
 	"loggrep/internal/harness"
 	"loggrep/internal/ingest"
 	"loggrep/internal/loggen"
@@ -173,6 +178,10 @@ func main() {
 		}
 		if err := addIngestMetrics(bf, logs, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "logbench: ingest metrics:", err)
+			os.Exit(1)
+		}
+		if err := addBlobMetrics(bf, logs, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "logbench: blob metrics:", err)
 			os.Exit(1)
 		}
 		if err := benchfmt.Write(*jsonOut, bf); err != nil {
@@ -350,6 +359,69 @@ func addIngestMetrics(f *benchfmt.File, logs []loggen.LogType, cfg harness.Confi
 		f.Add("ingest/seal_p50_ms", float64(h.Quantile(0.5))/1e6, "ms", true)
 		f.Add("ingest/seal_p99_ms", float64(h.Quantile(0.99))/1e6, "ms", true)
 	}
+	return nil
+}
+
+// addBlobMetrics measures the fault-tolerant blob layer over a real
+// sealed archive. cold_read_p50_ms is the median latency of fetching the
+// archive through the policy store when it is not resident (wall-clock,
+// informational tolerance in CI). retry_overhead_ratio is the extra
+// attempts per operation the retry policy spends against a backend
+// failing 30% of calls — the chaos injector is seeded, so the ratio is
+// deterministic for a fixed workload and gated at the default tolerance.
+func addBlobMetrics(f *benchfmt.File, logs []loggen.LogType, cfg harness.Config) error {
+	dir, err := os.MkdirTemp("", "logbench-blob-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	lt := logs[0]
+	data, err := loggrep.CompressArchive(lt.Block(cfg.Seed, cfg.LinesPerLog), loggrep.DefaultArchiveOptions())
+	if err != nil {
+		return err
+	}
+	const key = "bench/app/seg-00000000.lgrep"
+	if err := os.MkdirAll(filepath.Join(dir, "bench", "app"), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, filepath.FromSlash(key)), data, 0o644); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	healthy := blobstore.Wrap(blobstore.NewLocal(dir), blobstore.Policy{Name: "bench"})
+	const reads = 64
+	durs := make([]float64, 0, reads)
+	for i := 0; i < reads; i++ {
+		t0 := time.Now()
+		if _, err := healthy.Get(ctx, key); err != nil {
+			return err
+		}
+		durs = append(durs, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	sort.Float64s(durs)
+	f.Add("blob/cold_read_p50_ms", durs[reads/2], "ms", true)
+
+	chaos := faultinject.NewChaosBlob(blobstore.NewLocal(dir), cfg.Seed)
+	chaos.SetErrRate(0.3)
+	flaky := blobstore.Wrap(chaos, blobstore.Policy{
+		MaxAttempts: 4, BackoffBase: time.Microsecond, BackoffMax: 10 * time.Microsecond,
+		BreakerFailures: -1,
+	})
+	st := &blobstore.OpStats{}
+	sctx := blobstore.WithStats(ctx, st)
+	for i := 0; i < reads; i++ {
+		// Exhausting all attempts against a 30%-failing backend is part of
+		// the measured behavior, not a bench failure.
+		if _, err := flaky.Get(sctx, key); err != nil && blobstore.Classify(err) != blobstore.ClassRetryable {
+			return err
+		}
+	}
+	ops := float64(st.Ops.Load())
+	if ops == 0 {
+		return fmt.Errorf("blob bench issued no operations")
+	}
+	f.Add("blob/retry_overhead_ratio", float64(st.Retries.Load())/ops, "ratio", true)
 	return nil
 }
 

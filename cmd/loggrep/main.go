@@ -34,10 +34,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"loggrep"
 	"loggrep/internal/anatomy"
+	"loggrep/internal/blobstore"
 	"loggrep/internal/flightrec"
 	"loggrep/internal/obsv"
 	"loggrep/internal/version"
@@ -306,8 +308,21 @@ func (a archFile) Stat() string {
 }
 func (a archFile) Verify(deep bool) []loggrep.ArchiveBlockError { return a.a.Verify(deep) }
 
+// cliBlobs is the CLI's fault-policy blob store: plain paths, default
+// retry policy, no breaker gauge (one-shot processes don't scrape).
+var cliBlobs = sync.OnceValue(func() *blobstore.Store {
+	return blobstore.Wrap(blobstore.NewLocal(""), blobstore.Policy{})
+})
+
+// readBlob reads a user-named compressed file through the blob fault
+// policy, so a transient read error costs a retry instead of the whole
+// command.
+func readBlob(path string) ([]byte, error) {
+	return cliBlobs().Get(context.Background(), path)
+}
+
 func openAny(path string) (opened, error) {
-	data, err := os.ReadFile(path)
+	data, err := readBlob(path)
 	if err != nil {
 		return nil, err
 	}
@@ -521,7 +536,7 @@ func newExplainCmd() *command {
 		if fs.NArg() < 2 {
 			return fmt.Errorf("explain needs a compressed file and a command")
 		}
-		data, err := os.ReadFile(fs.Arg(0))
+		data, err := readBlob(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -568,7 +583,7 @@ func newStatsCmd() *command {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("stats needs a compressed file")
 		}
-		data, err := os.ReadFile(fs.Arg(0))
+		data, err := readBlob(fs.Arg(0))
 		if err != nil {
 			return err
 		}

@@ -65,6 +65,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -75,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"loggrep/internal/blobstore"
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
@@ -108,6 +110,11 @@ func main() {
 	ingestMaxTenantMB := flag.Int64("ingest-max-tenant-mb", 64, "per-tenant bound on unsealed raw-tail megabytes; appends past it get 429 + Retry-After")
 	ingestMaxSealedMB := flag.Int64("ingest-max-sealed-mb", 256, "bound on sealed-archive megabytes kept resident in memory; colder segments reload from disk on query")
 	ingestNoFsync := flag.Bool("ingest-no-fsync", false, "skip the WAL fsync before acknowledging batches (faster; a host crash may lose acknowledged data)")
+	blobAttempts := flag.Int("blob-attempts", 3, "total attempts per blob read (retries on transient storage errors; 1 = no retries)")
+	blobAttemptTimeout := flag.Duration("blob-attempt-timeout", 2*time.Second, "per-attempt deadline on blob reads; a wedged read is abandoned and retried (negative = off)")
+	blobHedgeAfter := flag.Duration("blob-hedge-after", 0, "launch a hedged second blob read when the first is still running after this long (0 = off)")
+	blobBreakerFailures := flag.Int("blob-breaker-failures", 5, "consecutive blob-read failures that open the storage circuit breaker (negative = no breaker)")
+	blobBreakerOpen := flag.Duration("blob-breaker-open", 5*time.Second, "how long an open storage breaker sheds reads before probing the backend again")
 	slowlog := flag.Duration("slowlog", -1, "emit a wide JSON event to stderr for requests at least this slow (0 = every request, negative = off)")
 	slowlogSample := flag.Int("slowlog-sample", 0, "additionally emit every Nth request regardless of duration (0 = off)")
 	slowlogFile := flag.String("slowlog-file", "", "write slowlog events to this rotating file instead of stderr (implies -slowlog 0 unless set)")
@@ -136,7 +143,19 @@ func main() {
 	sv.MaxTimeout = *maxTimeout
 	sv.Budget = core.Budget{MaxScannedBytes: *maxScanMB << 20, MaxDecompressions: *maxDecomp}
 	sv.DisableIndex = *noIndex
+	blobPolicy := blobstore.Policy{
+		MaxAttempts:     *blobAttempts,
+		AttemptTimeout:  *blobAttemptTimeout,
+		HedgeAfter:      *blobHedgeAfter,
+		BreakerFailures: *blobBreakerFailures,
+		BreakerOpenFor:  *blobBreakerOpen,
+	}
+	serverPolicy := blobPolicy
+	serverPolicy.Name = "server"
+	sv.Blobs = blobstore.Wrap(blobstore.NewLocal(""), serverPolicy)
 	if *ingestOn {
+		ingestPolicy := blobPolicy
+		ingestPolicy.Name = "ingest"
 		m, stats, err := ingest.Open(ingest.Config{
 			Dir:            *ingestDir,
 			SealBytes:      *ingestSealMB << 20,
@@ -144,6 +163,7 @@ func main() {
 			MaxTenantBytes: *ingestMaxTenantMB << 20,
 			MaxSealedBytes: *ingestMaxSealedMB << 20,
 			NoFsync:        *ingestNoFsync,
+			Blobs:          blobstore.Wrap(blobstore.NewLocal(*ingestDir), ingestPolicy),
 		})
 		if err != nil {
 			fatal(err)
@@ -152,6 +172,10 @@ func main() {
 		sv.Ingest = m
 		fmt.Printf("ingest enabled: dir=%s replayed %d stream(s), %d sealed segment(s), %d WAL segment(s) (%d lines)\n",
 			*ingestDir, stats.Streams, stats.SealedSegs, stats.RawSegs, stats.RawLines)
+		if stats.Quarantined > 0 || stats.WALFallbacks > 0 {
+			fmt.Printf("ingest degraded: %d sealed segment(s) quarantined (unreadable, queries report the gap), %d rebuilt from surviving WALs\n",
+				stats.Quarantined, stats.WALFallbacks)
+		}
 	}
 	if *slowlog >= 0 || *slowlogSample > 0 || *slowlogFile != "" {
 		threshold := *slowlog
@@ -204,14 +228,10 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("bad -load %q, want name=path", spec))
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		if err := sv.Load(name, data); err != nil {
+		if err := sv.LoadFromStore(context.Background(), name, path); err != nil {
 			fatal(fmt.Errorf("load %s: %w", name, err))
 		}
-		fmt.Printf("loaded %s from %s (%d bytes)\n", name, path, len(data))
+		fmt.Printf("loaded %s from %s\n", name, path)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,189 @@
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"sync/atomic"
+	"time"
+)
+
+// BlobStore is the read-side storage abstraction archive bytes come
+// through. Keys are slash-separated relative paths ("tenant/stream/
+// seg-00000001.lgrep"). Implementations must be safe for concurrent use
+// and must honor context cancellation between (not necessarily within)
+// I/O operations.
+//
+// The interface is deliberately read-only: writers keep their own
+// durability protocols (WAL fsync ordering, atomic temp+rename publishes)
+// which do not generalize across backends the way reads do.
+type BlobStore interface {
+	// Get returns the blob's full contents.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// ReadRange returns up to n bytes starting at off. Reading at or past
+	// the end returns an empty slice, not an error; a range crossing the
+	// end returns the short tail.
+	ReadRange(ctx context.Context, key string, off, n int64) ([]byte, error)
+	// List returns the keys under prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Stat returns the blob's metadata.
+	Stat(ctx context.Context, key string) (BlobInfo, error)
+}
+
+// BlobInfo is one blob's metadata.
+type BlobInfo struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// ErrNotFound reports a key with no blob behind it. Terminal: retrying
+// cannot make the blob appear.
+var ErrNotFound = errors.New("blobstore: not found")
+
+// ErrBreakerOpen reports an operation shed by an open circuit breaker:
+// the backend has failed persistently and the policy is fast-failing to
+// protect it (and the caller's latency) until the open window elapses.
+// Terminal for this call; the half-open probe decides when to try again.
+var ErrBreakerOpen = errors.New("blobstore: circuit breaker open")
+
+// Class is an error's retry classification.
+type Class int
+
+const (
+	// ClassRetryable errors are transient I/O failures worth retrying:
+	// the default for anything not provably permanent.
+	ClassRetryable Class = iota
+	// ClassTerminal errors cannot be fixed by retrying: missing blobs,
+	// permission failures, breaker sheds, malformed requests.
+	ClassTerminal
+	// ClassAborted errors mean the caller gave up (context cancelled or
+	// its deadline exceeded); they count against nobody's health.
+	ClassAborted
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRetryable:
+		return "retryable"
+	case ClassTerminal:
+		return "terminal"
+	case ClassAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// classified wraps an error with an explicit class, overriding Classify's
+// defaults (backends use it to mark errors the taxonomy cannot infer).
+type classified struct {
+	err error
+	c   Class
+}
+
+func (e *classified) Error() string { return e.err.Error() }
+func (e *classified) Unwrap() error { return e.err }
+
+// MarkTerminal marks err as not worth retrying.
+func MarkTerminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, c: ClassTerminal}
+}
+
+// MarkRetryable marks err as transient.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, c: ClassRetryable}
+}
+
+// Classify maps an error to its retry class. Unknown errors default to
+// retryable: storage backends fail transiently far more often than they
+// fail in novel permanent ways, and a bounded retry of a genuinely
+// permanent error costs milliseconds while a non-retry of a transient
+// one fails a whole query.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassTerminal
+	}
+	var cl *classified
+	if errors.As(err, &cl) {
+		return cl.c
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassAborted
+	case errors.Is(err, ErrNotFound), errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, fs.ErrPermission), errors.Is(err, ErrBreakerOpen),
+		errors.Is(err, fs.ErrInvalid):
+		return ClassTerminal
+	}
+	return ClassRetryable
+}
+
+// OpStats accounts one request's blob operations across every store call
+// made under its context (WithStats). All fields are atomic so the
+// hedged-read goroutines can add concurrently.
+type OpStats struct {
+	Ops       atomic.Int64 // operations issued
+	Attempts  atomic.Int64 // backend attempts (≥ Ops)
+	Retries   atomic.Int64 // attempts beyond the first, per op
+	Hedges    atomic.Int64 // hedged second reads launched
+	HedgeWins atomic.Int64 // hedges that beat the primary
+	Shed      atomic.Int64 // ops fast-failed by an open breaker
+	Failed    atomic.Int64 // ops that ultimately returned an error
+}
+
+// The inc helpers are nil-safe so the policy can bump unconditionally.
+func (st *OpStats) incOps() {
+	if st != nil {
+		st.Ops.Add(1)
+	}
+}
+func (st *OpStats) incAttempts() {
+	if st != nil {
+		st.Attempts.Add(1)
+	}
+}
+func (st *OpStats) incRetries() {
+	if st != nil {
+		st.Retries.Add(1)
+	}
+}
+func (st *OpStats) incHedges() {
+	if st != nil {
+		st.Hedges.Add(1)
+	}
+}
+func (st *OpStats) incHedgeWins() {
+	if st != nil {
+		st.HedgeWins.Add(1)
+	}
+}
+func (st *OpStats) incShed() {
+	if st != nil {
+		st.Shed.Add(1)
+	}
+}
+func (st *OpStats) incFailed() {
+	if st != nil {
+		st.Failed.Add(1)
+	}
+}
+
+type opStatsKey struct{}
+
+// WithStats returns a context whose blob operations are accounted into
+// st in addition to the global metrics.
+func WithStats(ctx context.Context, st *OpStats) context.Context {
+	return context.WithValue(ctx, opStatsKey{}, st)
+}
+
+// StatsFrom returns the OpStats attached to ctx, nil when none.
+func StatsFrom(ctx context.Context) *OpStats {
+	st, _ := ctx.Value(opStatsKey{}).(*OpStats)
+	return st
+}

@@ -1,0 +1,156 @@
+package blobstore
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's current position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every operation and counts consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits exactly one probe operation; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen sheds every operation with ErrBreakerOpen until the
+	// open window elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker. Closed, it counts
+// consecutive retryable failures; at the threshold it opens and sheds
+// every operation for the open window; then it half-opens and admits a
+// single probe — success closes the breaker, failure re-opens it for
+// another full window. Aborted operations (caller cancellation) and
+// terminal errors that say nothing about backend health (not-found)
+// never move the state machine.
+type Breaker struct {
+	threshold int           // consecutive failures to open
+	openFor   time.Duration // open → half-open cooldown
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and stays open for openFor. A nil clock uses
+// time.Now.
+func NewBreaker(threshold int, openFor time.Duration, clock func() time.Time) *Breaker {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: clock}
+}
+
+// State reports the breaker's position, folding an elapsed open window
+// into half-open so observers see the state the next Allow would act on.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.openFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow asks to run one operation. It returns a release callback to be
+// invoked with the operation's outcome, or ErrBreakerOpen when the
+// operation must be shed. The callback must be called exactly once;
+// pass OutcomeAborted for cancelled operations so they count against
+// nobody.
+func (b *Breaker) Allow() (func(outcome BreakerOutcome), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return nil, ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		mBreakerHalfOpen.Inc()
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			// One probe at a time: concurrent callers shed until the
+			// in-flight probe reports back.
+			return nil, ErrBreakerOpen
+		}
+		b.probing = true
+		return func(o BreakerOutcome) { b.probeDone(o) }, nil
+	}
+	return func(o BreakerOutcome) { b.closedDone(o) }, nil
+}
+
+// BreakerOutcome is one operation's health verdict.
+type BreakerOutcome int
+
+const (
+	// OutcomeOK: the backend answered (even with a terminal error like
+	// not-found — that is a healthy backend saying "no such blob").
+	OutcomeOK BreakerOutcome = iota
+	// OutcomeFailure: the backend failed in a retryable way.
+	OutcomeFailure
+	// OutcomeAborted: the caller gave up; no verdict on the backend.
+	OutcomeAborted
+)
+
+func (b *Breaker) closedDone(o BreakerOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		return // a concurrent probe already moved the state machine
+	}
+	switch o {
+	case OutcomeOK:
+		b.fails = 0
+	case OutcomeFailure:
+		b.fails++
+		if b.threshold > 0 && b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			mBreakerOpened.Inc()
+		}
+	}
+}
+
+func (b *Breaker) probeDone(o BreakerOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.probing = false
+	switch o {
+	case OutcomeOK:
+		b.state = BreakerClosed
+		b.fails = 0
+		mBreakerClosed.Inc()
+	case OutcomeFailure:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		mBreakerOpened.Inc()
+	}
+	// OutcomeAborted leaves the breaker half-open with no probe in
+	// flight; the next Allow becomes the new probe.
+}

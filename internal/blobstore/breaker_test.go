@@ -1,0 +1,131 @@
+package blobstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker timing tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func mustAllow(t *testing.T, b *Breaker) func(BreakerOutcome) {
+	t.Helper()
+	release, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow: %v", err)
+	}
+	return release
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, 10*time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)(OutcomeFailure)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	mustAllow(t, b)(OutcomeFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 failures: state %v, want open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker Allow: err %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, 10*time.Second, clk.now)
+	mustAllow(t, b)(OutcomeFailure)
+	mustAllow(t, b)(OutcomeFailure)
+	mustAllow(t, b)(OutcomeOK) // resets the consecutive count
+	mustAllow(t, b)(OutcomeFailure)
+	mustAllow(t, b)(OutcomeFailure)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed (success must reset the streak)", got)
+	}
+}
+
+func TestBreakerAbortedIsNoVerdict(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(2, 10*time.Second, clk.now)
+	mustAllow(t, b)(OutcomeFailure)
+	mustAllow(t, b)(OutcomeAborted)
+	mustAllow(t, b)(OutcomeAborted)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed (aborts carry no verdict)", got)
+	}
+	mustAllow(t, b)(OutcomeFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v, want open (aborts must not reset the streak either)", got)
+	}
+}
+
+func TestBreakerHalfOpenTiming(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(1, 10*time.Second, clk.now)
+	mustAllow(t, b)(OutcomeFailure) // opens
+	clk.advance(9999 * time.Millisecond)
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("1ms before the window: err %v, want ErrBreakerOpen", err)
+	}
+	clk.advance(time.Millisecond) // exactly the window
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("at the window: state %v, want half-open", got)
+	}
+	release := mustAllow(t, b) // the probe
+	release(OutcomeOK)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after probe success: state %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+	mustAllow(t, b)(OutcomeFailure)
+	clk.advance(time.Second)
+	probe := mustAllow(t, b) // becomes the single probe
+	// Every concurrent caller sheds while the probe is in flight.
+	for i := 0; i < 3; i++ {
+		if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("concurrent caller %d: err %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	probe(OutcomeFailure) // probe fails: back to open for a full window
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after probe failure: state %v, want open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker must shed, got err %v", err)
+	}
+	clk.advance(time.Second) // window elapses again
+	probe2 := mustAllow(t, b)
+	probe2(OutcomeOK)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after second probe success: state %v, want closed", got)
+	}
+}
+
+func TestBreakerAbortedProbeFreesTheSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+	mustAllow(t, b)(OutcomeFailure)
+	clk.advance(time.Second)
+	probe := mustAllow(t, b)
+	probe(OutcomeAborted) // caller gave up: no verdict, slot freed
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after aborted probe: state %v, want half-open", got)
+	}
+	probe2 := mustAllow(t, b) // a fresh probe is admitted immediately
+	probe2(OutcomeOK)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after replacement probe: state %v, want closed", got)
+	}
+}

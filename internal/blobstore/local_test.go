@@ -1,0 +1,150 @@
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalGetStat(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "t", "s", "seg-00000001.lgrep"), "hello blob")
+	l := NewLocal(dir)
+	ctx := context.Background()
+
+	data, err := l.Get(ctx, "t/s/seg-00000001.lgrep")
+	if err != nil || string(data) != "hello blob" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+	info, err := l.Stat(ctx, "t/s/seg-00000001.lgrep")
+	if err != nil || info.Size != int64(len("hello blob")) {
+		t.Fatalf("Stat = %+v, %v", info, err)
+	}
+
+	_, err = l.Get(ctx, "t/s/absent")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing Get err = %v, want ErrNotFound", err)
+	}
+	if Classify(err) != ClassTerminal {
+		t.Fatalf("not-found err %v classified %v, want terminal", err, Classify(err))
+	}
+	if _, err := l.Stat(ctx, "t/s/absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing Stat err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLocalReadRange(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "blob"), "0123456789")
+	l := NewLocal(dir)
+	ctx := context.Background()
+
+	cases := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"},
+		{5, 5, "56789"},
+		{8, 10, "89"}, // crosses EOF: short tail
+		{10, 4, ""},   // at EOF: empty, no error
+		{99, 4, ""},   // past EOF: empty, no error
+	}
+	for _, c := range cases {
+		got, err := l.ReadRange(ctx, "blob", c.off, c.n)
+		if err != nil || string(got) != c.want {
+			t.Fatalf("ReadRange(%d,%d) = %q, %v; want %q", c.off, c.n, got, err, c.want)
+		}
+	}
+	if _, err := l.ReadRange(ctx, "blob", -1, 4); Classify(err) != ClassTerminal {
+		t.Fatalf("negative offset err = %v, want terminal", err)
+	}
+}
+
+func TestLocalRejectsTraversal(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "inside"), "x")
+	writeFile(t, filepath.Join(filepath.Dir(dir), "outside"), "secret")
+	l := NewLocal(dir)
+	ctx := context.Background()
+
+	for _, key := range []string{"../outside", "a/../../outside", "", "/etc/hostname"} {
+		_, err := l.Get(ctx, key)
+		if err == nil {
+			t.Fatalf("Get(%q) succeeded, want rejection", key)
+		}
+		if Classify(err) != ClassTerminal {
+			t.Fatalf("Get(%q) err %v classified %v, want terminal", key, err, Classify(err))
+		}
+	}
+}
+
+func TestLocalEmptyRootUsesPlainPaths(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "plain.lgrep")
+	writeFile(t, p, "cli-opened")
+	l := NewLocal("")
+	data, err := l.Get(context.Background(), filepath.ToSlash(p))
+	if err != nil || string(data) != "cli-opened" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+}
+
+func TestLocalList(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a", "s1", "seg-00000001.lgrep"), "1")
+	writeFile(t, filepath.Join(dir, "a", "s1", "wal-00000002.wal"), "2")
+	writeFile(t, filepath.Join(dir, "a", "s2", "seg-00000001.lgrep"), "3")
+	writeFile(t, filepath.Join(dir, "ab", "x"), "4")
+	l := NewLocal(dir)
+	ctx := context.Background()
+
+	got, err := l.List(ctx, "a/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a/s1/seg-00000001.lgrep", "a/s1/wal-00000002.wal"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(a/s1) = %v, want %v", got, want)
+	}
+
+	got, err = l.List(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("List(a) = %v, want 3 keys (prefix must not match %q)", got, "ab/x")
+	}
+
+	got, err = l.List(ctx, "")
+	if err != nil || len(got) != 4 {
+		t.Fatalf("List(\"\") = %v, %v; want all 4 keys", got, err)
+	}
+
+	got, err = l.List(ctx, "nope")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("List(nope) = %v, %v; want empty", got, err)
+	}
+}
+
+func TestLocalGetHonorsCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "blob"), "x")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewLocal(dir).Get(ctx, "blob"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,342 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"loggrep/internal/obsv"
+)
+
+// Policy configures the fault middleware around a backend. The zero
+// value of every field picks the documented default; negative values
+// disable the feature where noted.
+type Policy struct {
+	// MaxAttempts is the total backend attempts per operation, the first
+	// one included (default 3; 1 disables retries). Only retryable
+	// failures are re-attempted; terminal errors and caller cancellation
+	// return immediately.
+	MaxAttempts int
+	// AttemptTimeout bounds each attempt (default 2s; negative disables).
+	// An attempt that outlives it is abandoned and retried — the shape of
+	// a read wedged on a sick disk or a stuck remote connection. The
+	// caller's own context deadline still bounds the whole operation.
+	AttemptTimeout time.Duration
+	// BackoffBase seeds the exponential backoff between retries (default
+	// 25ms): before retry n the policy sleeps a uniformly random duration
+	// in [0, min(BackoffMax, BackoffBase·2ⁿ)) — "full jitter", so a
+	// thundering herd of failed readers decorrelates instead of
+	// re-stampeding in sync.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth (default 1s).
+	BackoffMax time.Duration
+	// HedgeAfter launches a second identical read when a Get/ReadRange
+	// attempt is still running after this long (default 0 = off). First
+	// result wins; the loser is cancelled. Hedging trades duplicate
+	// backend work for tail latency and is only worth it on backends
+	// with heavy-tailed read latency.
+	HedgeAfter time.Duration
+	// BreakerFailures opens the circuit breaker after this many
+	// consecutive failed operations (default 5; negative disables the
+	// breaker). While open, operations fast-fail with ErrBreakerOpen.
+	BreakerFailures int
+	// BreakerOpenFor is how long the breaker sheds before admitting a
+	// single half-open probe (default 5s).
+	BreakerOpenFor time.Duration
+	// Name labels this store's breaker-state gauge
+	// (loggrep_blob_breaker_state{backend="..."}); empty registers none.
+	Name string
+
+	// Test seams; nil uses the real clock, sleep, and math/rand.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+	rnd   func() float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 2 * time.Second
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 25 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = time.Second
+	}
+	if p.BreakerFailures == 0 {
+		p.BreakerFailures = 5
+	}
+	if p.BreakerOpenFor <= 0 {
+		p.BreakerOpenFor = 5 * time.Second
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	if p.rnd == nil {
+		var mu sync.Mutex
+		r := rand.New(rand.NewSource(p.now().UnixNano()))
+		p.rnd = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return r.Float64()
+		}
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Store wraps a backend in the fault policy. It implements BlobStore, so
+// stores stack (a chaos injector between the policy and the real
+// backend is how the fault sweeps run).
+type Store struct {
+	b  BlobStore
+	p  Policy
+	br *Breaker
+}
+
+// Wrap returns a fault-policy store over backend.
+func Wrap(backend BlobStore, p Policy) *Store {
+	p = p.withDefaults()
+	s := &Store{b: backend, p: p}
+	if p.BreakerFailures > 0 {
+		s.br = NewBreaker(p.BreakerFailures, p.BreakerOpenFor, p.now)
+	}
+	if p.Name != "" {
+		br := s.br
+		obsv.Default.Gauge(
+			fmt.Sprintf("loggrep_blob_breaker_state{backend=%q}", p.Name),
+			"Circuit breaker position: 0 closed, 1 half-open, 2 open",
+			func() int64 {
+				if br == nil {
+					return 0
+				}
+				return int64(br.State())
+			})
+	}
+	return s
+}
+
+// BreakerState reports the store's breaker position (BreakerClosed when
+// the breaker is disabled).
+func (s *Store) BreakerState() BreakerState {
+	if s.br == nil {
+		return BreakerClosed
+	}
+	return s.br.State()
+}
+
+// Get runs the policy around the backend's Get.
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	t0 := s.p.now()
+	data, err := run(s, ctx, true, func(ctx context.Context) ([]byte, error) {
+		return s.b.Get(ctx, key)
+	})
+	hGetNS.Observe(s.p.now().Sub(t0).Nanoseconds())
+	if err != nil {
+		return nil, fmt.Errorf("blob get %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// ReadRange runs the policy around the backend's ReadRange.
+func (s *Store) ReadRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	t0 := s.p.now()
+	data, err := run(s, ctx, true, func(ctx context.Context) ([]byte, error) {
+		return s.b.ReadRange(ctx, key, off, n)
+	})
+	hGetNS.Observe(s.p.now().Sub(t0).Nanoseconds())
+	if err != nil {
+		return nil, fmt.Errorf("blob read %q [%d,+%d): %w", key, off, n, err)
+	}
+	return data, nil
+}
+
+// List runs the policy around the backend's List (no hedging: listings
+// are not latency-critical and duplicating directory walks buys nothing).
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	keys, err := run(s, ctx, false, func(ctx context.Context) ([]string, error) {
+		return s.b.List(ctx, prefix)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blob list %q: %w", prefix, err)
+	}
+	return keys, nil
+}
+
+// Stat runs the policy around the backend's Stat.
+func (s *Store) Stat(ctx context.Context, key string) (BlobInfo, error) {
+	info, err := run(s, ctx, false, func(ctx context.Context) (BlobInfo, error) {
+		return s.b.Stat(ctx, key)
+	})
+	if err != nil {
+		return BlobInfo{}, fmt.Errorf("blob stat %q: %w", key, err)
+	}
+	return info, nil
+}
+
+// run is the policy engine: breaker admission, the retry loop with
+// full-jitter backoff, and (for hedgeable ops) the hedged attempt.
+func run[T any](s *Store, ctx context.Context, hedgeable bool, op func(context.Context) (T, error)) (T, error) {
+	var zero T
+	st := StatsFrom(ctx)
+	mOps.Inc()
+	st.incOps()
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+
+	release := func(BreakerOutcome) {}
+	if s.br != nil {
+		var err error
+		release, err = s.br.Allow()
+		if err != nil {
+			mBreakerShed.Inc()
+			mOpErrors.Inc()
+			st.incShed()
+			st.incFailed()
+			return zero, err
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < s.p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			st.incRetries()
+			if err := s.p.sleep(ctx, s.backoff(attempt)); err != nil {
+				release(OutcomeAborted)
+				st.incFailed()
+				return zero, err
+			}
+		}
+		v, err := s.attempt(ctx, hedgeable, opAny(op), st)
+		if err == nil {
+			release(OutcomeOK)
+			return v.(T), nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context ended; any attempt error is just its
+			// echo. Aborts carry no verdict on the backend.
+			release(OutcomeAborted)
+			st.incFailed()
+			return zero, err
+		}
+		switch Classify(err) {
+		case ClassTerminal:
+			// The backend answered definitively (not-found, permission,
+			// bad key): healthy backend, unretryable request.
+			release(OutcomeOK)
+			mOpErrors.Inc()
+			st.incFailed()
+			return zero, err
+		case ClassAborted:
+			// Only the per-attempt deadline can produce this with the
+			// parent context still live: the attempt wedged. Retry.
+		}
+	}
+	release(OutcomeFailure)
+	mOpErrors.Inc()
+	st.incFailed()
+	return zero, fmt.Errorf("after %d attempts: %w", s.p.MaxAttempts, lastErr)
+}
+
+// opAny erases the op's result type so attempt stays a method (methods
+// cannot have their own type parameters).
+func opAny[T any](op func(context.Context) (T, error)) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) { return op(ctx) }
+}
+
+// backoff returns the full-jitter delay before the given retry
+// (attempt ≥ 1): uniform in [0, min(BackoffMax, BackoffBase·2^(attempt-1))).
+func (s *Store) backoff(attempt int) time.Duration {
+	cap := s.p.BackoffBase
+	for i := 1; i < attempt && cap < s.p.BackoffMax; i++ {
+		cap *= 2
+	}
+	if cap > s.p.BackoffMax {
+		cap = s.p.BackoffMax
+	}
+	return time.Duration(s.p.rnd() * float64(cap))
+}
+
+// attempt runs one policy attempt: a per-attempt deadline around the
+// backend call, plus — for hedgeable operations with hedging enabled — a
+// second identical call launched if the first is still running after
+// HedgeAfter. The first success wins and the loser is cancelled; if both
+// fail the last error surfaces to the retry loop.
+func (s *Store) attempt(ctx context.Context, hedgeable bool, op func(context.Context) (any, error), st *OpStats) (any, error) {
+	actx, cancel := context.WithCancel(ctx)
+	if s.p.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, s.p.AttemptTimeout)
+	}
+	defer cancel()
+	mAttempts.Inc()
+	st.incAttempts()
+	if !hedgeable || s.p.HedgeAfter <= 0 {
+		return op(actx)
+	}
+
+	type result struct {
+		v     any
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2) // buffered: the losing goroutine never blocks
+	go func() {
+		v, err := op(actx)
+		ch <- result{v, err, false}
+	}()
+	timer := time.NewTimer(s.p.HedgeAfter)
+	defer timer.Stop()
+	pending, hedged := 1, false
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if r.hedge {
+					mHedgeWins.Inc()
+					st.incHedgeWins()
+				}
+				return r.v, nil
+			}
+			if pending == 0 {
+				return nil, r.err
+			}
+			// One leg failed, the other is still in flight: its result
+			// decides the attempt.
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				mHedges.Inc()
+				mAttempts.Inc()
+				st.incHedges()
+				st.incAttempts()
+				go func() {
+					v, err := op(actx)
+					ch <- result{v, err, true}
+				}()
+			}
+		}
+	}
+}

@@ -2,7 +2,8 @@ package ingest
 
 import (
 	"container/list"
-	"os"
+	"context"
+	"fmt"
 	"sync"
 
 	"loggrep/internal/archive"
@@ -82,23 +83,58 @@ func (c *archCache) resident() int64 {
 	return c.bytes
 }
 
-// archive returns sg's sealed archive, reloading it from disk (and
-// re-admitting it to the resident cache) after an eviction. sg must be
-// sealed. Concurrent loaders may both read the file; admit keeps one.
-func (st *Stream) archive(sg *segment) (*archive.Archive, error) {
+// reloadAttempts bounds how many times archive re-fetches bytes that
+// came back readable but failed archive validation (a torn read): the
+// blob policy retries I/O errors internally, but a torn read succeeds at
+// the I/O layer and only the checksums catch it, so the re-fetch loop
+// lives here.
+const reloadAttempts = 3
+
+// archive returns sg's sealed archive, reloading it through the blob
+// store (and re-admitting it to the resident cache) after an eviction.
+// sg must be sealed and not quarantined. Concurrent loaders may both
+// read the blob; admit keeps one. Failures are transient — the next
+// query retries the reload — and classify through blobstore.Classify
+// for the caller's degrade decision.
+func (st *Stream) archive(ctx context.Context, sg *segment) (*archive.Archive, error) {
 	if a := st.m.cache.get(sg); a != nil {
 		mSealedCacheHits.Inc()
 		return a, nil
 	}
 	mSealedCacheMisses.Inc()
-	data, err := os.ReadFile(segPath(st.dir, sg.seq))
-	if err != nil {
-		return nil, err
+	key := segKey(st.tenant, st.name, sg.seq)
+	var lastErr error
+	for i := 0; i < reloadAttempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := st.m.cfg.Blobs.Get(ctx, key)
+		if err != nil {
+			return nil, err // the policy already retried what was retryable
+		}
+		a, err := archive.Open(data)
+		if err != nil {
+			// Readable bytes, broken archive: a torn read or real on-disk
+			// corruption. Re-fetch — a torn read heals, corruption repeats.
+			mSealedReloadCorrupt.Inc()
+			lastErr = fmt.Errorf("ingest: sealed segment %d failed validation: %w", sg.seq, err)
+			continue
+		}
+		if len(a.Damage()) > 0 {
+			// The archive frame parsed but some blocks failed validation —
+			// the same torn-read shape one layer down. Re-fetch; on the
+			// last attempt serve the survivors (readable blocks answer,
+			// damaged ones are reported) but do NOT cache the damaged
+			// copy: if the damage was a read artifact, the next query's
+			// fresh fetch heals it.
+			mSealedReloadCorrupt.Inc()
+			if i < reloadAttempts-1 {
+				continue
+			}
+			return a, nil
+		}
+		st.m.cache.admit(sg, a, int64(len(data)))
+		return a, nil
 	}
-	a, err := archive.Open(data)
-	if err != nil {
-		return nil, err
-	}
-	st.m.cache.admit(sg, a, int64(len(data)))
-	return a, nil
+	return nil, lastErr
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"loggrep/internal/archive"
+	"loggrep/internal/blobstore"
 	"loggrep/internal/flightrec"
 )
 
@@ -67,6 +69,13 @@ type Config struct {
 	// SealInterval is the background sealer's poll cadence (default
 	// 250ms).
 	SealInterval time.Duration
+	// Blobs serves every sealed-segment and WAL read — replay at startup
+	// and cache reloads at query time. Keys are "tenant/stream/<file>"
+	// relative to Dir. Nil wraps the local filesystem under Dir in the
+	// default fault policy (retries, breaker); tests substitute fault
+	// injectors here. Writes never go through Blobs: the WAL fsync and
+	// seal publish protocols keep their own durability ordering.
+	Blobs blobstore.BlobStore
 
 	// sealHook, when set, is called between seal stages ("compressed",
 	// "published", "cleaned") and aborts the seal on error. Crash-safety
@@ -97,7 +106,19 @@ func (c Config) withDefaults() Config {
 	if c.SealInterval <= 0 {
 		c.SealInterval = 250 * time.Millisecond
 	}
+	if c.Blobs == nil {
+		c.Blobs = blobstore.Wrap(blobstore.NewLocal(c.Dir), blobstore.Policy{Name: "ingest"})
+	}
 	return c
+}
+
+// segKey and walKey are a segment's blobstore keys, relative to Config.Dir.
+func segKey(tenant, stream string, seq uint64) string {
+	return fmt.Sprintf("%s/%s/seg-%08d.lgrep", tenant, stream, seq)
+}
+
+func walKey(tenant, stream string, seq uint64) string {
+	return fmt.Sprintf("%s/%s/wal-%08d.wal", tenant, stream, seq)
 }
 
 // segment is one sequence-numbered slice of a stream. It is raw (lines in
@@ -126,6 +147,14 @@ type segment struct {
 	sealed      bool
 	numLines    int
 	sealedBytes int64
+	// quarantined marks a sealed segment whose archive was unreadable or
+	// corrupt at replay with no WAL to fall back on. It serves zero lines
+	// and every query over the stream reports it as damage; only a
+	// restart (after the operator restores the file) re-examines it.
+	// Replay-time quarantine is permanent because the segment's line
+	// count is unknown — admitting it later would renumber every line
+	// after it mid-flight.
+	quarantined bool
 }
 
 func (sg *segment) lineCount() int {
@@ -180,6 +209,15 @@ type ReplayStats struct {
 	RawLines    int // lines in those WAL segments
 	OrphanWALs  int // WALs superseded by a completed seal, removed
 	TempRemoved int // abandoned temp files removed
+	// Quarantined counts sealed segments whose archives were unreadable
+	// or corrupt at replay with no surviving WAL: the stream serves
+	// without them (queries report the gap as damage) instead of
+	// refusing to start.
+	Quarantined int
+	// WALFallbacks counts sealed segments whose archives were unreadable
+	// but whose pre-seal WAL still existed (a crash between publish and
+	// cleanup): the WAL was replayed instead, losing nothing.
+	WALFallbacks int
 }
 
 // Open creates (or reopens) the ingest root and replays whatever a
@@ -276,37 +314,60 @@ func (m *Manager) replayStream(tenant, name string, stats *ReplayStats) (*Stream
 		}
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	ctx := context.Background()
 	for _, q := range seqs {
 		if sealed[q] {
 			// Open to validate and count lines, then hand the archive to
 			// the bounded resident cache: replay memory peaks at one
-			// segment plus the cache cap, not the whole history.
-			data, err := os.ReadFile(segPath(dir, q))
+			// segment plus the cache cap, not the whole history. The read
+			// goes through the blob policy (retries, breaker); a segment
+			// that stays unreadable or fails validation degrades instead
+			// of refusing startup.
+			sg := &segment{seq: q, sealed: true}
+			data, err := m.cfg.Blobs.Get(ctx, segKey(tenant, name, q))
+			var a *archive.Archive
+			if err == nil {
+				a, err = archive.Open(data)
+				if err != nil {
+					mSealedReloadCorrupt.Inc()
+				}
+			}
 			if err != nil {
-				return nil, err
+				if wals[q] {
+					// A crash between the seal's publish and its WAL
+					// cleanup left both copies, and the archive side is
+					// the broken one: replay the WAL below and drop the
+					// bad archive so the sealer rebuilds it.
+					os.Remove(segPath(dir, q))
+					stats.WALFallbacks++
+					mSealFallbacks.Inc()
+				} else {
+					sg.quarantined = true
+					st.segs = append(st.segs, sg)
+					stats.Quarantined++
+					mQuarantined.Inc()
+					continue
+				}
+			} else {
+				sg.numLines, sg.sealedBytes = a.NumLines(), int64(len(data))
+				st.segs = append(st.segs, sg)
+				m.cache.admit(sg, a, int64(len(data)))
+				st.appended += int64(sg.numLines)
+				stats.SealedSegs++
+				if wals[q] {
+					// The seal's rename published before the crash; the WAL
+					// is the redundant copy. Removing it (again) is the
+					// idempotent completion of the interrupted protocol.
+					os.Remove(walPath(dir, q))
+					stats.OrphanWALs++
+				}
+				continue
 			}
-			a, err := archive.Open(data)
-			if err != nil {
-				return nil, fmt.Errorf("sealed segment %d: %w", q, err)
-			}
-			sg := &segment{
-				seq: q, sealed: true, numLines: a.NumLines(), sealedBytes: int64(len(data)),
-			}
-			st.segs = append(st.segs, sg)
-			m.cache.admit(sg, a, int64(len(data)))
-			st.appended += int64(sg.numLines)
-			stats.SealedSegs++
-			if wals[q] {
-				// The seal's rename published before the crash; the WAL
-				// is the redundant copy. Removing it (again) is the
-				// idempotent completion of the interrupted protocol.
-				os.Remove(walPath(dir, q))
-				stats.OrphanWALs++
-			}
-			continue
 		}
-		data, err := os.ReadFile(walPath(dir, q))
+		data, err := m.cfg.Blobs.Get(ctx, walKey(tenant, name, q))
 		if err != nil {
+			// WAL bytes back acknowledged batches; serving without them
+			// would silently drop data clients were told is durable.
 			return nil, err
 		}
 		lines, bytes := decodeWAL(data)
@@ -622,13 +683,14 @@ func (st *Stream) Appended() int64 {
 
 // Info describes one stream for /v1/sources and diagnostics.
 type Info struct {
-	Tenant     string `json:"tenant"`
-	Stream     string `json:"stream"`
-	Lines      int    `json:"lines"`
-	SealedSegs int    `json:"sealed_segments"`
-	RawSegs    int    `json:"raw_segments"`
-	RawBytes   int64  `json:"raw_bytes"`
-	SealedSize int64  `json:"sealed_compressed_bytes"`
+	Tenant      string `json:"tenant"`
+	Stream      string `json:"stream"`
+	Lines       int    `json:"lines"`
+	SealedSegs  int    `json:"sealed_segments"`
+	RawSegs     int    `json:"raw_segments"`
+	RawBytes    int64  `json:"raw_bytes"`
+	SealedSize  int64  `json:"sealed_compressed_bytes"`
+	Quarantined int    `json:"quarantined_segments,omitempty"`
 }
 
 // Snapshot lists every stream, tenant/stream sorted.
@@ -645,7 +707,9 @@ func (m *Manager) Snapshot() []Info {
 		info := Info{Tenant: st.tenant, Stream: st.name}
 		for _, sg := range st.segs {
 			info.Lines += sg.lineCount()
-			if sg.sealed {
+			if sg.quarantined {
+				info.Quarantined++
+			} else if sg.sealed {
 				info.SealedSegs++
 				info.SealedSize += sg.sealedBytes
 			} else {

@@ -36,6 +36,12 @@ var (
 		"WAL segments recovered into the raw tail at startup")
 	mReplayedLines = obsv.Default.Counter("loggrep_ingest_replayed_lines_total",
 		"Acknowledged lines recovered from WAL segments at startup")
+	mSealedReloadCorrupt = obsv.Default.Counter("loggrep_ingest_sealed_reload_corrupt_total",
+		"Sealed-segment reads whose bytes failed archive validation (torn read or on-disk corruption)")
+	mQuarantined = obsv.Default.Counter("loggrep_ingest_quarantined_segments_total",
+		"Sealed segments quarantined at replay: unreadable/corrupt with no WAL fallback; queries report the gap as damage")
+	mSealFallbacks = obsv.Default.Counter("loggrep_ingest_seal_wal_fallbacks_total",
+		"Broken sealed archives dropped at replay in favor of their surviving pre-seal WAL (nothing lost)")
 
 	hBatchNS = obsv.Default.Histogram("loggrep_ingest_batch_ns", "ns",
 		"Durable batch-append latency (WAL write + fsync)")

@@ -2,12 +2,18 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"loggrep/internal/archive"
+	"loggrep/internal/blobstore"
 	"loggrep/internal/core"
 	"loggrep/internal/query"
 )
+
+// errQuarantined reports a sealed segment quarantined at replay: its
+// archive was unreadable or corrupt and no WAL survived to rebuild it.
+var errQuarantined = errors.New("ingest: segment quarantined at replay (archive unreadable, no WAL fallback)")
 
 // Result is a stream query result with stream-global line numbers:
 // segments in ascending sequence order, lines numbered from 0 at the
@@ -19,9 +25,10 @@ type Result struct {
 	// Damaged lists sealed-segment regions lost to storage corruption,
 	// line ranges rebased to stream-global numbers.
 	Damaged []archive.BlockError
-	// Partial marks a result cut short by the work budget or a raw-tail
-	// scan abort; returned matches are verified exact, later ones may be
-	// missing — degraded, never wrong.
+	// Partial marks a result cut short by the work budget, a raw-tail
+	// scan abort, or a sealed segment left unreadable by storage faults
+	// (PartialReason "storage"); returned matches are verified exact,
+	// later ones may be missing — degraded, never wrong.
 	Partial       bool
 	PartialReason string
 }
@@ -69,14 +76,38 @@ func (st *Stream) Query(ctx context.Context, command string, workers int, budget
 		return nil, err
 	}
 	res := &Result{}
+	degraded := false
+	shed := func(v segView, err error) {
+		// The segment is unreadable right now; every line it holds is
+		// reported as damage and the result degrades to partial instead
+		// of failing the whole query. Matches from every other segment
+		// stay verified-exact: degraded, never wrong.
+		res.Damaged = append(res.Damaged, archive.BlockError{
+			Block: int(v.sg.seq), FirstLine: v.base, NumLines: v.n, Err: err,
+		})
+		res.Partial = true
+		res.PartialReason = "storage"
+		if !degraded {
+			degraded = true
+			blobstore.FaultShedQueries.Inc()
+		}
+	}
 	for _, v := range st.snapshot() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if v.sealed {
-			a, err := st.archive(v.sg)
+			if v.sg.quarantined {
+				shed(v, errQuarantined)
+				continue
+			}
+			a, err := st.archive(ctx, v.sg)
 			if err != nil {
-				return nil, err
+				if ctx.Err() != nil || blobstore.Classify(err) == blobstore.ClassAborted {
+					return nil, err // the caller gave up; nothing to degrade
+				}
+				shed(v, err)
+				continue
 			}
 			ar, err := a.QueryContext(ctx, command, workers, budget)
 			if err != nil {
@@ -89,6 +120,17 @@ func (st *Stream) Query(ctx context.Context, command string, workers int, budget
 			for _, d := range ar.Damaged {
 				d.FirstLine += v.base
 				res.Damaged = append(res.Damaged, d)
+			}
+			if len(ar.Damaged) > 0 {
+				// Damaged blocks inside a sealed segment are the same
+				// degradation as an unreadable segment, just finer-grained:
+				// the result is a verified-exact subset, flagged as such.
+				res.Partial = true
+				res.PartialReason = "storage"
+				if !degraded {
+					degraded = true
+					blobstore.FaultShedQueries.Inc()
+				}
 			}
 			if ar.Partial {
 				res.Partial = true
@@ -136,7 +178,7 @@ func (st *Stream) Entry(line int) (string, error) {
 	for _, v := range st.snapshot() {
 		if line < v.base+v.n {
 			if v.sealed {
-				a, err := st.archive(v.sg)
+				a, err := st.archive(context.Background(), v.sg)
 				if err != nil {
 					return "", err
 				}

@@ -72,6 +72,18 @@ type WideEvent struct {
 	BudgetScanBytes      int64 `json:"budget_scan_bytes,omitempty"`
 	BudgetDecompressions int64 `json:"budget_decompressions,omitempty"`
 
+	// Blob-layer activity under this request, from the fault-policy
+	// store's per-request accounting: operations issued, retries spent on
+	// transient failures, hedged reads launched/won, operations shed by
+	// an open breaker, and operations that ultimately failed. All zero
+	// when every read was cache-resident or healthy on the first attempt.
+	BlobOps       int64 `json:"blob_ops,omitempty"`
+	BlobRetries   int64 `json:"blob_retries,omitempty"`
+	BlobHedges    int64 `json:"blob_hedges,omitempty"`
+	BlobHedgeWins int64 `json:"blob_hedge_wins,omitempty"`
+	BlobShed      int64 `json:"blob_shed,omitempty"`
+	BlobFailed    int64 `json:"blob_failed,omitempty"`
+
 	// Per-stage span timings, verbatim from the query trace.
 	Spans []Span `json:"spans,omitempty"`
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"loggrep/internal/archive"
+	"loggrep/internal/blobstore"
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
@@ -166,6 +167,11 @@ type Server struct {
 	// streams are queryable through /v1/query et al. under the source
 	// name "tenant/stream" (loggrepd -ingest).
 	Ingest *ingest.Manager
+	// Blobs serves LoadFromStore reads. Nil uses a fault-policy store
+	// over the local filesystem with keys as plain paths (what loggrepd
+	// -load wants); set it to point startup loads at another backend or
+	// policy.
+	Blobs blobstore.BlobStore
 
 	mu      sync.RWMutex
 	sources map[string]*source
@@ -219,6 +225,28 @@ func (sv *Server) Load(name string, data []byte) error {
 	defer sv.mu.Unlock()
 	sv.sources[name] = src
 	return nil
+}
+
+// defaultBlobs lazily builds the fallback LoadFromStore backend: the
+// local filesystem behind the default fault policy, keys as plain paths.
+var defaultBlobs = sync.OnceValue(func() blobstore.BlobStore {
+	return blobstore.Wrap(blobstore.NewLocal(""), blobstore.Policy{Name: "server"})
+})
+
+// LoadFromStore fetches key through the server's blob store (retries,
+// breaker, the works) and registers it under name. Startup loads go
+// through here so a flaky disk or remote backend gets the same fault
+// handling as query-time reads.
+func (sv *Server) LoadFromStore(ctx context.Context, name, key string) error {
+	b := sv.Blobs
+	if b == nil {
+		b = defaultBlobs()
+	}
+	data, err := b.Get(ctx, key)
+	if err != nil {
+		return err
+	}
+	return sv.Load(name, data)
 }
 
 // Handler returns the routed http.Handler. Every endpoint is wrapped with
@@ -531,6 +559,30 @@ func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, 
 	sv.FlightRec.Record(ev)
 }
 
+// withBlobStats attaches per-request blob accounting to the context when
+// the request has a wide event to stamp it into.
+func withBlobStats(ctx context.Context, ev *obsv.WideEvent) (context.Context, *blobstore.OpStats) {
+	if ev == nil {
+		return ctx, nil
+	}
+	bst := &blobstore.OpStats{}
+	return blobstore.WithStats(ctx, bst), bst
+}
+
+// stampBlobStats copies the request's blob-layer accounting into its wide
+// event; both arguments may be nil.
+func stampBlobStats(ev *obsv.WideEvent, bst *blobstore.OpStats) {
+	if ev == nil || bst == nil {
+		return
+	}
+	ev.BlobOps = bst.Ops.Load()
+	ev.BlobRetries = bst.Retries.Load()
+	ev.BlobHedges = bst.Hedges.Load()
+	ev.BlobHedgeWins = bst.HedgeWins.Load()
+	ev.BlobShed = bst.Shed.Load()
+	ev.BlobFailed = bst.Failed.Load()
+}
+
 func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	ev := sv.startEvent(r, "query")
@@ -551,11 +603,13 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx, bst := withBlobStats(ctx, ev)
 	start := time.Now()
 	traced := r.URL.Query().Get("trace") == "1"
 	// The wide event wants span timings even when the client didn't ask
 	// for a trace; the response only carries it when requested.
 	qr, err := src.query(ctx, cmd, traced || ev != nil, sv.Budget)
+	stampBlobStats(ev, bst)
 	if err != nil {
 		status := sv.queryError(w, err)
 		sv.finishEvent(ev, t0, adm, status, err.Error())
@@ -613,8 +667,10 @@ func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx, bst := withBlobStats(ctx, ev)
 	start := time.Now()
 	n, damaged, err := src.count(ctx, cmd)
+	stampBlobStats(ev, bst)
 	if err != nil {
 		status := sv.queryError(w, err)
 		sv.finishEvent(ev, t0, adm, status, err.Error())
