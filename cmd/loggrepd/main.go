@@ -81,6 +81,7 @@ import (
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
 	"loggrep/internal/obsv"
+	"loggrep/internal/otlp"
 	"loggrep/internal/server"
 	"loggrep/internal/version"
 )
@@ -127,6 +128,9 @@ func main() {
 	flightrecBudget := flag.Int("flightrec-budget", 0, "dump a bundle on this many budget-exhausted partial queries within 30s (0 = off)")
 	flightrecCooldown := flag.Duration("flightrec-cooldown", time.Minute, "minimum gap between diagnostic bundles")
 	flightrecMax := flag.Int("flightrec-max-bundles", 8, "bundle files kept in -flightrec-dir before pruning the oldest")
+	otlpEndpoint := flag.String("otlp-endpoint", "", "base URL of an OTLP/HTTP collector (e.g. http://localhost:4318); spans for every request and seal, plus a metrics snapshot each -otlp-interval, are pushed as JSON (empty = export off)")
+	otlpInterval := flag.Duration("otlp-interval", 10*time.Second, "metrics push cadence and maximum span batch age for -otlp-endpoint")
+	otlpQueue := flag.Int("otlp-queue", 1024, "export queue capacity; a full queue drops events (counted in loggrep_otlp_dropped_total) rather than blocking requests")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
@@ -153,6 +157,24 @@ func main() {
 	serverPolicy := blobPolicy
 	serverPolicy.Name = "server"
 	sv.Blobs = blobstore.Wrap(blobstore.NewLocal(""), serverPolicy)
+	var exp *otlp.Exporter
+	if *otlpEndpoint != "" {
+		// Every explicitly-set flag rides each export as a resource
+		// attribute, so a collector can tell apart processes by their
+		// launch configuration the same way flight-recorder bundles do.
+		res := map[string]string{}
+		flag.Visit(func(f *flag.Flag) { res["loggrep.flag."+f.Name] = f.Value.String() })
+		exp = otlp.New(otlp.Config{
+			Endpoint:  *otlpEndpoint,
+			Interval:  *otlpInterval,
+			QueueSize: *otlpQueue,
+			Resource:  res,
+		})
+		exp.Start()
+		sv.OTLP = exp
+		fmt.Printf("otlp export enabled: endpoint=%s interval=%s queue=%d\n",
+			*otlpEndpoint, *otlpInterval, *otlpQueue)
+	}
 	if *ingestOn {
 		ingestPolicy := blobPolicy
 		ingestPolicy.Name = "ingest"
@@ -164,6 +186,7 @@ func main() {
 			MaxSealedBytes: *ingestMaxSealedMB << 20,
 			NoFsync:        *ingestNoFsync,
 			Blobs:          blobstore.Wrap(blobstore.NewLocal(*ingestDir), ingestPolicy),
+			SealEvents:     sealEvents(exp),
 		})
 		if err != nil {
 			fatal(err)
@@ -243,7 +266,26 @@ func main() {
 	if err := sv.ServeGraceful(ln, sig, *shutdownGrace); err != nil {
 		fatal(err)
 	}
+	if exp != nil {
+		// The server has drained, so every request's wide event is already
+		// enqueued; flush them and a final metrics snapshot before exit,
+		// bounded so a dead collector cannot wedge shutdown.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := exp.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "loggrepd: otlp flush:", err)
+		}
+		cancel()
+	}
 	fmt.Println("loggrepd: drained, exiting")
+}
+
+// sealEvents adapts the exporter into the ingest SealEvents sink, nil
+// when export is off so the sealer skips building events entirely.
+func sealEvents(exp *otlp.Exporter) func(*obsv.WideEvent) {
+	if exp == nil {
+		return nil
+	}
+	return exp.ExportEvent
 }
 
 func fatal(err error) {

@@ -128,6 +128,10 @@ func Classify(err error) Class {
 // made under its context (WithStats). All fields are atomic so the
 // hedged-read goroutines can add concurrently.
 type OpStats struct {
+	// TraceID, when set by the caller, identifies the request these ops
+	// belong to; blob-layer latency exemplars carry it so a slow Get on
+	// /metrics joins the same trace as its wide event and OTLP span.
+	TraceID   string
 	Ops       atomic.Int64 // operations issued
 	Attempts  atomic.Int64 // backend attempts (≥ Ops)
 	Retries   atomic.Int64 // attempts beyond the first, per op
@@ -186,4 +190,14 @@ func WithStats(ctx context.Context, st *OpStats) context.Context {
 func StatsFrom(ctx context.Context) *OpStats {
 	st, _ := ctx.Value(opStatsKey{}).(*OpStats)
 	return st
+}
+
+// traceIDFrom returns the request trace id riding ctx's OpStats, "" when
+// the context carries none. Nil-safe so the policy's latency exemplars
+// can read it unconditionally.
+func traceIDFrom(ctx context.Context) string {
+	if st := StatsFrom(ctx); st != nil {
+		return st.TraceID
+	}
+	return ""
 }

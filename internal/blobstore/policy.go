@@ -149,7 +149,7 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 	data, err := run(s, ctx, true, func(ctx context.Context) ([]byte, error) {
 		return s.b.Get(ctx, key)
 	})
-	hGetNS.Observe(s.p.now().Sub(t0).Nanoseconds())
+	hGetNS.ObserveExemplar(s.p.now().Sub(t0).Nanoseconds(), traceIDFrom(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("blob get %q: %w", key, err)
 	}
@@ -162,7 +162,7 @@ func (s *Store) ReadRange(ctx context.Context, key string, off, n int64) ([]byte
 	data, err := run(s, ctx, true, func(ctx context.Context) ([]byte, error) {
 		return s.b.ReadRange(ctx, key, off, n)
 	})
-	hGetNS.Observe(s.p.now().Sub(t0).Nanoseconds())
+	hGetNS.ObserveExemplar(s.p.now().Sub(t0).Nanoseconds(), traceIDFrom(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("blob read %q [%d,+%d): %w", key, off, n, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"loggrep/internal/archive"
 	"loggrep/internal/blobstore"
 	"loggrep/internal/flightrec"
+	"loggrep/internal/obsv"
 )
 
 // ErrBackpressure reports a batch refused because the tenant's raw-buffer
@@ -76,6 +77,16 @@ type Config struct {
 	// injectors here. Writes never go through Blobs: the WAL fsync and
 	// seal publish protocols keep their own durability ordering.
 	Blobs blobstore.BlobStore
+
+	// SealEvents, when set, receives one wide event per completed seal:
+	// endpoint "seal", source "tenant/stream", a freshly minted 128-bit
+	// trace id (seals are background work, owned by no request trace),
+	// line count, duration, and a "seal" span whose attrs carry the
+	// raw/compressed byte counts. loggrepd wires this to the OTLP
+	// exporter so seal latency leaves the process like request latency
+	// does; the same trace id is the seal histogram's exemplar. Called
+	// synchronously from the sealer goroutine — keep it non-blocking.
+	SealEvents func(*obsv.WideEvent)
 
 	// sealHook, when set, is called between seal stages ("compressed",
 	// "published", "cleaned") and aborts the seal on error. Crash-safety
@@ -517,6 +528,15 @@ func (m *Manager) stream(tenant, name string) (*Stream, error) {
 // batch was accepted. ErrBackpressure means the tenant's raw-tail budget
 // is full — back off, let the sealer drain, retry.
 func (m *Manager) Append(tenant, stream string, lines []string) error {
+	return m.AppendContext(context.Background(), tenant, stream, lines)
+}
+
+// AppendContext is Append carrying the request context: when ctx holds a
+// trace identity (obsv.ContextWithIDs), the append-latency histogram's
+// exemplar records it, joining a slow fsync on /metrics to the ingest
+// request's wide event and exported span. The context does not yet cancel
+// the append itself — durability ordering owns that path.
+func (m *Manager) AppendContext(ctx context.Context, tenant, stream string, lines []string) error {
 	if len(lines) == 0 {
 		return nil
 	}
@@ -546,7 +566,7 @@ func (m *Manager) Append(tenant, stream string, lines []string) error {
 	mBatches.Inc()
 	mLines.Add(int64(len(lines)))
 	mBytes.Add(add)
-	hBatchNS.Observe(time.Since(t0).Nanoseconds())
+	hBatchNS.ObserveExemplar(time.Since(t0).Nanoseconds(), obsv.TraceIDFrom(ctx))
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"loggrep/internal/archive"
 	"loggrep/internal/flightrec"
+	"loggrep/internal/obsv"
 )
 
 // kickSealer nudges the sealer without blocking (it also wakes on its
@@ -201,8 +202,41 @@ func (st *Stream) sealOne(sg *segment) error {
 	mSeals.Inc()
 	mSealedRawBytes.Add(freed)
 	mSealedCompBytes.Add(int64(len(data)))
-	hSealNS.Observe(time.Since(t0).Nanoseconds())
+	st.sealFinished(t0, sg.seq, int64(a.NumLines()), freed, int64(len(data)))
 	return nil
+}
+
+// sealFinished records a completed seal's telemetry: the latency
+// observation with a fresh trace id as its exemplar, and — when the
+// manager has a SealEvents sink — a wide event carrying that same trace
+// id, so the exemplar on /metrics, the event, and the exported OTLP span
+// all join on one id exactly like the request path.
+func (st *Stream) sealFinished(t0 time.Time, seq uint64, lines, rawBytes, compBytes int64) {
+	dur := time.Since(t0)
+	if st.m.cfg.SealEvents == nil {
+		hSealNS.Observe(dur.Nanoseconds())
+		return
+	}
+	traceID := obsv.NewTraceID128()
+	hSealNS.ObserveExemplar(dur.Nanoseconds(), traceID)
+	st.m.cfg.SealEvents(&obsv.WideEvent{
+		TraceID:  traceID,
+		SpanID:   obsv.NewSpanID(),
+		Time:     t0.UTC().Format(time.RFC3339Nano),
+		Endpoint: "seal",
+		Source:   st.tenant + "/" + st.name,
+		DurNS:    dur.Nanoseconds(),
+		Lines:    lines,
+		Spans: []obsv.Span{{
+			Name:  "seal",
+			DurNS: dur.Nanoseconds(),
+			Attrs: []obsv.Attr{
+				{Key: "seq", Val: int64(seq)},
+				{Key: "raw_bytes", Val: rawBytes},
+				{Key: "comp_bytes", Val: compBytes},
+			},
+		}},
+	})
 }
 
 // hook runs the test failpoint, nil-safe.

@@ -324,6 +324,90 @@ func (r *Registry) Gauge(name, help string, fn func() int64) {
 	r.metrics[name] = &metric{name: name, help: help, g: fn}
 }
 
+// MetricKind says which of a MetricPoint's value fields is meaningful.
+type MetricKind int
+
+const (
+	// KindCounter is a monotonically increasing counter (Value).
+	KindCounter MetricKind = iota
+	// KindGauge is a point-in-time callback gauge (Value).
+	KindGauge
+	// KindHistogram is a distribution (Hist).
+	KindHistogram
+)
+
+// Label is one constant label parsed from a metric name's {k="v"} suffix.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// MetricPoint is one registered metric's identity and current value — the
+// structured form of the registry that exporters (internal/otlp) and
+// hygiene checks consume. Name is the family name with any {k="v"} suffix
+// stripped into Labels.
+type MetricPoint struct {
+	Name   string
+	Labels []Label
+	Help   string
+	Unit   string
+	Kind   MetricKind
+	// Value is the counter or gauge reading (zero for histograms).
+	Value int64
+	// Hist is the distribution summary (zero for counters and gauges).
+	Hist HistogramSnapshot
+}
+
+// parseLabels splits a `k="v",k2="v2"` label suffix into pairs. Malformed
+// tails (impossible for names built by this package's users via fmt %q)
+// are returned as a single opaque label so nothing is silently dropped.
+func parseLabels(s string) []Label {
+	if s == "" {
+		return nil
+	}
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.Index(s, `="`)
+		if eq < 0 {
+			return append(out, Label{Key: "_raw", Value: s})
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			return append(out, Label{Key: "_raw", Value: s})
+		}
+		out = append(out, Label{Key: key, Value: rest[:end]})
+		s = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	return out
+}
+
+// Snapshot captures every registered metric as a MetricPoint, name-sorted.
+// Counter and gauge values and histogram summaries are read at call time.
+func (r *Registry) Snapshot() []MetricPoint {
+	ms := r.sorted()
+	out := make([]MetricPoint, 0, len(ms))
+	for _, m := range ms {
+		fam, labels := m.family()
+		p := MetricPoint{Name: fam, Labels: parseLabels(labels), Help: m.help, Unit: m.unit}
+		switch {
+		case m.c != nil:
+			p.Kind = KindCounter
+			p.Value = m.c.Value()
+		case m.g != nil:
+			p.Kind = KindGauge
+			p.Value = m.g()
+		default:
+			p.Kind = KindHistogram
+			p.Hist = m.h.Snapshot()
+			p.Hist.Unit = m.unit
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // CounterValues snapshots every registered counter's current value —
 // the delta feed for the flight recorder's per-second metrics ring.
 func (r *Registry) CounterValues() map[string]int64 {

@@ -32,6 +32,7 @@ type Trace struct {
 	mu    sync.Mutex
 	spans []Span
 	attrs []Attr
+	ids   ReqIDs
 }
 
 // NewTrace starts a trace.
@@ -102,12 +103,31 @@ func (sc *SpanCursor) End() {
 	sc.t.mu.Unlock()
 }
 
+// SetIDs attaches the request's trace identity to the trace (nil-safe).
+// The server sets it on traces returned from query execution so the
+// ?trace=1 response payload carries the same W3C ids as the X-Trace-Id
+// header, the wide event, and the exported OTLP span.
+func (t *Trace) SetIDs(ids ReqIDs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ids = ids
+	t.mu.Unlock()
+}
+
 // TraceData is a trace's JSON-ready snapshot.
 type TraceData struct {
-	Name  string `json:"name"`
-	DurNS int64  `json:"dur_ns"`
-	Spans []Span `json:"spans"`
-	Attrs []Attr `json:"attrs,omitempty"`
+	Name string `json:"name"`
+	// TraceID/SpanID/ParentSpanID are the W3C trace-context identity of
+	// the request this trace ran under, when the server attached one
+	// (SetIDs); empty for ad-hoc CLI traces.
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	DurNS        int64  `json:"dur_ns"`
+	Spans        []Span `json:"spans"`
+	Attrs        []Attr `json:"attrs,omitempty"`
 }
 
 // Data snapshots the trace (nil-safe; returns a zero TraceData on nil).
@@ -118,10 +138,13 @@ func (t *Trace) Data() TraceData {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TraceData{
-		Name:  t.name,
-		DurNS: time.Since(t.start).Nanoseconds(),
-		Spans: append([]Span(nil), t.spans...),
-		Attrs: append([]Attr(nil), t.attrs...),
+		Name:         t.name,
+		TraceID:      t.ids.TraceID,
+		SpanID:       t.ids.SpanID,
+		ParentSpanID: t.ids.ParentSpanID,
+		DurNS:        time.Since(t.start).Nanoseconds(),
+		Spans:        append([]Span(nil), t.spans...),
+		Attrs:        append([]Attr(nil), t.attrs...),
 	}
 }
 

@@ -29,8 +29,16 @@ func NewTraceID() string {
 // `loggrep query -trace=json` emits the same shape for ad-hoc runs.
 type WideEvent struct {
 	TraceID string `json:"trace_id"`
-	Time    string `json:"time,omitempty"`
-	Version string `json:"version,omitempty"`
+	// SpanID is the span this process opened for the request;
+	// ParentSpanID is the caller's span when the request arrived with a
+	// W3C traceparent header (empty for locally rooted traces), and
+	// TraceState carries the caller's tracestate verbatim. Together they
+	// make the event joinable to the exported OTLP span.
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	TraceState   string `json:"tracestate,omitempty"`
+	Time         string `json:"time,omitempty"`
+	Version      string `json:"version,omitempty"`
 
 	// Request identity.
 	Endpoint string `json:"endpoint,omitempty"`

@@ -86,7 +86,10 @@ func TestExemplarsInOutputs(t *testing.T) {
 // `go test ./internal/obsv -run Golden -update`.
 func TestWideEventGolden(t *testing.T) {
 	ev := &WideEvent{
-		TraceID:              "00c0ffee00c0ffee",
+		TraceID:              "00c0ffee00c0ffee00c0ffee00c0ffee",
+		SpanID:               "00c0ffee00c0ffee",
+		ParentSpanID:         "0badcafe0badcafe",
+		TraceState:           "congo=t61rcWkgMzE",
 		Time:                 "2026-01-02T03:04:05Z",
 		Version:              "v1.2.3",
 		Endpoint:             "query",

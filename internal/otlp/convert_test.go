@@ -1,0 +1,218 @@
+package otlp
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loggrep/internal/obsv"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares v's indented JSON against testdata/<name>,
+// rewriting it under -update. The goldens pin the OTLP wire shape —
+// hex-string ids, decimal-string int64s, camelCase proto JSON names —
+// that real collectors parse.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("OTLP wire shape drifted from %s (run with -update if intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// goldenEvent is a fully populated wide event: joined W3C identity,
+// per-stage spans, admission and partial flags, an error — every branch
+// of the converter exercised at once.
+func goldenEvent() *obsv.WideEvent {
+	return &obsv.WideEvent{
+		TraceID:        "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:         "00c0ffee00c0ffee",
+		ParentSpanID:   "00f067aa0ba902b7",
+		TraceState:     "congo=t61rcWkgMzE",
+		Time:           "2026-01-02T03:04:05Z",
+		Version:        "v1.2.3",
+		Endpoint:       "query",
+		Source:         "prod",
+		Command:        "ERROR AND state:503",
+		Status:         200,
+		DurNS:          1500000,
+		Matches:        7,
+		Lines:          3000,
+		CacheHit:       true,
+		Partial:        true,
+		PartialReason:  "scan budget exhausted",
+		Queued:         true,
+		StampAdmits:    11,
+		CapsuleScans:   16,
+		BytesScanned:   4096,
+		Decompressions: 14,
+		BlobOps:        3,
+		BlobRetries:    1,
+		Spans: []obsv.Span{
+			{Name: "filter", StartNS: 0, DurNS: 1000000, Attrs: []obsv.Attr{{Key: "capsule_scans", Val: 16}}},
+			{Name: "verify", StartNS: 1000000, DurNS: 500000, Attrs: []obsv.Attr{{Key: "candidates_checked", Val: 9}}},
+		},
+	}
+}
+
+func TestConvertEventGolden(t *testing.T) {
+	fallback := time.Date(2026, 1, 2, 3, 5, 0, 0, time.UTC)
+	spans := convertEvent(goldenEvent(), fallback)
+	payload := tracesPayload{ResourceSpans: []resourceSpans{{
+		Resource: buildResource("loggrepd", "v1.2.3", []keyValue{strAttr("loggrep.flag.addr", ":8080")}),
+		ScopeSpans: []scopeSpans{{
+			Scope: scope{Name: scopeName, Version: "v1.2.3"},
+			Spans: spans,
+		}},
+	}}}
+	checkGolden(t, "spans.golden.json", payload)
+}
+
+func TestConvertEventShape(t *testing.T) {
+	ev := goldenEvent()
+	fallback := time.Date(2026, 1, 2, 3, 5, 0, 0, time.UTC)
+	spans := convertEvent(ev, fallback)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want root + 2 children", len(spans))
+	}
+	root := spans[0]
+	if root.TraceID != ev.TraceID || root.SpanID != ev.SpanID || root.ParentSpanID != ev.ParentSpanID {
+		t.Errorf("root identity = %s/%s/%s, want the event's", root.TraceID, root.SpanID, root.ParentSpanID)
+	}
+	if root.Kind != spanKindServer {
+		t.Errorf("root kind = %d, want SERVER", root.Kind)
+	}
+	// ev.Time is the request start; the root span must cover [start, start+dur].
+	start, _ := time.Parse(time.RFC3339Nano, ev.Time)
+	if root.StartTimeUnixNano != unixNano(start) {
+		t.Errorf("root start = %s, want %s", root.StartTimeUnixNano, unixNano(start))
+	}
+	if root.EndTimeUnixNano != unixNano(start.Add(time.Duration(ev.DurNS))) {
+		t.Errorf("root end = %s, want start+dur", root.EndTimeUnixNano)
+	}
+	for i, child := range spans[1:] {
+		if child.TraceID != ev.TraceID {
+			t.Errorf("child %d trace id %q, want %q", i, child.TraceID, ev.TraceID)
+		}
+		if child.ParentSpanID != ev.SpanID {
+			t.Errorf("child %d parent %q, want root span %q", i, child.ParentSpanID, ev.SpanID)
+		}
+		if !isHex(child.SpanID, 16) {
+			t.Errorf("child %d span id %q not 16 hex", i, child.SpanID)
+		}
+	}
+	if spans[1].SpanID == spans[2].SpanID {
+		t.Error("sibling children share a span id")
+	}
+	// Deterministic: converting again yields identical spans.
+	again := convertEvent(goldenEvent(), fallback)
+	for i := range spans {
+		if spans[i].SpanID != again[i].SpanID {
+			t.Errorf("span %d id not deterministic: %q vs %q", i, spans[i].SpanID, again[i].SpanID)
+		}
+	}
+}
+
+func TestConvertEventErrorStatus(t *testing.T) {
+	ev := &obsv.WideEvent{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00c0ffee00c0ffee",
+		Endpoint: "query", Status: 500, Error: "boom",
+	}
+	spans := convertEvent(ev, time.Unix(0, 0).UTC())
+	if spans[0].Status == nil || spans[0].Status.Code != statusCodeError || spans[0].Status.Message != "boom" {
+		t.Fatalf("error status not set: %+v", spans[0].Status)
+	}
+	ok := convertEvent(&obsv.WideEvent{TraceID: ev.TraceID, SpanID: ev.SpanID, Status: 200}, time.Unix(0, 0).UTC())
+	if ok[0].Status != nil {
+		t.Fatalf("200 got a status: %+v", ok[0].Status)
+	}
+}
+
+func TestConvertMetricsGolden(t *testing.T) {
+	points := []obsv.MetricPoint{
+		{Name: "loggrep_http_queries_shed_total", Help: "Queries shed", Kind: obsv.KindCounter, Value: 3},
+		{Name: "loggrep_http_requests_total", Labels: []obsv.Label{{Key: "endpoint", Value: "metrics"}},
+			Help: "HTTP requests served, by endpoint", Kind: obsv.KindCounter, Value: 12},
+		{Name: "loggrep_http_requests_total", Labels: []obsv.Label{{Key: "endpoint", Value: "query"}},
+			Help: "HTTP requests served, by endpoint", Kind: obsv.KindCounter, Value: 41},
+		{Name: "loggrep_goroutines", Help: "Live goroutine count", Kind: obsv.KindGauge, Value: 17},
+		{Name: "loggrep_http_request_ns", Labels: []obsv.Label{{Key: "endpoint", Value: "query"}},
+			Help: "HTTP request latency, by endpoint", Unit: "ns", Kind: obsv.KindHistogram,
+			Hist: obsv.HistogramSnapshot{Count: 41, Sum: 2870000, Min: 11000, Max: 390000,
+				Mean: 70000, P50: 52000, P95: 210000, P99: 380000, Unit: "ns"}},
+	}
+	start := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	now := time.Date(2026, 1, 2, 3, 10, 0, 0, time.UTC)
+	payload := metricsPayload{ResourceMetrics: []resourceMetrics{{
+		Resource: buildResource("loggrepd", "v1.2.3", nil),
+		ScopeMetrics: []scopeMetrics{{
+			Scope:   scope{Name: scopeName, Version: "v1.2.3"},
+			Metrics: convertMetrics(points, start, now),
+		}},
+	}}}
+	checkGolden(t, "metrics.golden.json", payload)
+}
+
+func TestConvertMetricsFoldsLabelVariants(t *testing.T) {
+	points := []obsv.MetricPoint{
+		{Name: "loggrep_x_total", Labels: []obsv.Label{{Key: "a", Value: "1"}}, Kind: obsv.KindCounter, Value: 1},
+		{Name: "loggrep_x_total", Labels: []obsv.Label{{Key: "a", Value: "2"}}, Kind: obsv.KindCounter, Value: 2},
+		{Name: "loggrep_y_total", Kind: obsv.KindCounter, Value: 3},
+	}
+	ms := convertMetrics(points, time.Unix(0, 0).UTC(), time.Unix(1, 0).UTC())
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics, want label variants folded into 2", len(ms))
+	}
+	if ms[0].Name != "loggrep_x_total" || len(ms[0].Sum.DataPoints) != 2 {
+		t.Fatalf("loggrep_x_total has %d data points, want 2", len(ms[0].Sum.DataPoints))
+	}
+	if !ms[0].Sum.IsMonotonic || ms[0].Sum.AggregationTemporality != aggregationCumulative {
+		t.Error("counter sum not cumulative monotonic")
+	}
+}
+
+// TestConvertMetricsFromLiveRegistry proves Snapshot→convert works end to
+// end on a real registry, the exact path pushMetrics takes.
+func TestConvertMetricsFromLiveRegistry(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter(`loggrep_test_total{path="a"}`, "test counter")
+	c.Add(5)
+	h := reg.Histogram("loggrep_test_ns", "ns", "test histogram")
+	h.Observe(100)
+	h.Observe(200)
+	ms := convertMetrics(reg.Snapshot(), time.Unix(0, 0).UTC(), time.Unix(1, 0).UTC())
+	byName := map[string]metric{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if m, ok := byName["loggrep_test_total"]; !ok || m.Sum == nil || m.Sum.DataPoints[0].AsInt != "5" {
+		t.Fatalf("counter missing or wrong: %+v", byName)
+	} else if len(m.Sum.DataPoints[0].Attributes) != 1 || m.Sum.DataPoints[0].Attributes[0].Key != "path" {
+		t.Fatalf("counter labels wrong: %+v", m.Sum.DataPoints[0].Attributes)
+	}
+	if m, ok := byName["loggrep_test_ns"]; !ok || m.Summary == nil || m.Summary.DataPoints[0].Count != "2" {
+		t.Fatalf("histogram missing or wrong: %+v", byName)
+	}
+}

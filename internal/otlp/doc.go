@@ -1,0 +1,29 @@
+// Package otlp makes LogGrep's telemetry leave the process without
+// taking on a dependency: W3C trace-context propagation for inbound
+// requests and an OTLP/HTTP JSON exporter for outbound spans and
+// metrics.
+//
+// Inbound, ParseTraceparent/FormatTraceparent implement the W3C
+// traceparent header (128-bit trace id, 64-bit span id, sampled flag);
+// the server's instrument middleware uses them to join a caller's trace
+// instead of minting a local one, and to echo the server's own span back
+// on the response.
+//
+// Outbound, Exporter runs a bounded in-memory queue in front of a
+// background sender: finished request wide events (obsv.WideEvent)
+// become OTLP ResourceSpans — the request as a SERVER root span, its
+// per-stage trace spans as children, outcome fields as attributes and
+// span events — and the obsv registry is snapshotted into OTLP metrics
+// on a push interval. The hot path never blocks: a full queue drops the
+// span and increments loggrep_otlp_dropped_total{reason="queue_full"}.
+// Sends retry transient failures (HTTP 429/5xx, network errors) with
+// full-jitter exponential backoff and drop on terminal ones (other 4xx),
+// mirroring internal/blobstore's taxonomy. Close flushes the queue and
+// pushes a final metrics snapshot inside the server's graceful-shutdown
+// grace period.
+//
+// Everything speaks the OTLP/HTTP JSON protocol (proto3 JSON mapping of
+// opentelemetry-proto v1: hex-encoded ids, stringified 64-bit ints) so a
+// stock OpenTelemetry Collector ingests it on :4318 with no extra
+// configuration. OPERATIONS.md §10 is the operator runbook.
+package otlp

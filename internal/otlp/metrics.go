@@ -1,0 +1,45 @@
+package otlp
+
+import (
+	"sync/atomic"
+
+	"loggrep/internal/obsv"
+)
+
+// Exporter self-metrics, registered in obsv.Default so the export
+// pipeline's own health rides /metrics (and is itself pushed to the
+// collector). Every name here is documented in OPERATIONS.md §10; keep
+// the two in sync.
+var (
+	mSpansExported = obsv.Default.Counter("loggrep_otlp_spans_exported_total",
+		"OTLP spans delivered to the collector (request root spans and per-stage children)")
+	mDroppedQueueFull = obsv.Default.Counter(`loggrep_otlp_dropped_total{reason="queue_full"}`,
+		"Wide events dropped because the export queue was full (the hot path never blocks)")
+	mDroppedSend = obsv.Default.Counter(`loggrep_otlp_dropped_total{reason="send"}`,
+		"Wide events dropped because their batch failed terminally or exhausted its retries")
+	mExportsTraces = obsv.Default.Counter(`loggrep_otlp_exports_total{signal="traces"}`,
+		"Successful OTLP/HTTP trace POSTs")
+	mExportsMetrics = obsv.Default.Counter(`loggrep_otlp_exports_total{signal="metrics"}`,
+		"Successful OTLP/HTTP metrics POSTs")
+	mExportFailTraces = obsv.Default.Counter(`loggrep_otlp_export_failures_total{signal="traces"}`,
+		"Trace batches abandoned after a terminal response or exhausted retries")
+	mExportFailMetrics = obsv.Default.Counter(`loggrep_otlp_export_failures_total{signal="metrics"}`,
+		"Metrics pushes abandoned after a terminal response or exhausted retries (the next interval re-snapshots)")
+	mRetries = obsv.Default.Counter("loggrep_otlp_retries_total",
+		"OTLP POST attempts beyond a payload's first (transient failures being retried)")
+	mMetricPoints = obsv.Default.Counter("loggrep_otlp_metric_points_exported_total",
+		"OTLP metric data points delivered to the collector")
+	mFlushes = obsv.Default.Counter("loggrep_otlp_shutdown_flushes_total",
+		"Graceful-shutdown flushes that drained the span queue (visible in the collector's final metrics snapshot)")
+)
+
+// queueDepth feeds the loggrep_otlp_queue_depth gauge. Gauges register
+// first-wins and process-global, so the gauge reads a package-level
+// atomic that the live exporter keeps current rather than closing over
+// one exporter instance (tests build many).
+var queueDepth atomic.Int64
+
+func init() {
+	obsv.Default.Gauge("loggrep_otlp_queue_depth",
+		"Wide events waiting in the OTLP export queue", queueDepth.Load)
+}

@@ -1,0 +1,108 @@
+package otlp
+
+import "strings"
+
+// TraceContext is the identity parsed from a W3C traceparent header: the
+// caller's 128-bit trace id, the caller's span id (which becomes the
+// parent of the span this process opens), and whether the caller sampled
+// the trace.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex, never all-zero
+	SpanID  string // 16 lowercase hex, never all-zero
+	Sampled bool
+}
+
+// FlagsSampled is the traceparent trace-flags bit for "sampled".
+const FlagsSampled = 0x01
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	00      -  4bf92f3577b34da6a3ce929d0e0e4736 - 00f067aa0ba902b7 - 01
+//
+// Per the spec, version ff is invalid, all-zero ids are invalid, hex
+// must be lowercase, and a higher version is accepted as long as its
+// first four fields parse (forward compatibility: a version-00 processor
+// may read them and ignore trailing additions). ok is false for
+// anything malformed — the caller should then mint a fresh trace.
+func ParseTraceparent(h string) (tc TraceContext, ok bool) {
+	if h == "" {
+		return TraceContext{}, false
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(ver, 2) || ver == "ff" {
+		return TraceContext{}, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return TraceContext{}, false
+	}
+	if !isHex(traceID, 32) || traceID == strings.Repeat("0", 32) {
+		return TraceContext{}, false
+	}
+	if !isHex(spanID, 16) || spanID == strings.Repeat("0", 16) {
+		return TraceContext{}, false
+	}
+	if !isHex(flags, 2) {
+		return TraceContext{}, false
+	}
+	return TraceContext{
+		TraceID: traceID,
+		SpanID:  spanID,
+		Sampled: hexByte(flags)&FlagsSampled != 0,
+	}, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}
+
+// ValidTracestate reports whether a tracestate header value is sane
+// enough to carry through: the spec's full list-member grammar is vendor
+// territory, so this only rejects values that would corrupt the header
+// on re-emission (control characters, absurd length). The spec caps the
+// list at 32 members / 512 chars of guaranteed propagation.
+func ValidTracestate(h string) bool {
+	if h == "" || len(h) > 512 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		if h[i] < 0x20 || h[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// isHex reports whether s is exactly n lowercase hex characters.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// hexByte decodes a 2-char validated lowercase hex string.
+func hexByte(s string) byte {
+	nib := func(c byte) byte {
+		if c <= '9' {
+			return c - '0'
+		}
+		return c - 'a' + 10
+	}
+	return nib(s[0])<<4 | nib(s[1])
+}

@@ -1,0 +1,86 @@
+package otlp
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	wantSpan  = "00f067aa0ba902b7"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		ok      bool
+		sampled bool
+	}{
+		{"spec example sampled", "00-" + wantTrace + "-" + wantSpan + "-01", true, true},
+		{"spec example unsampled", "00-" + wantTrace + "-" + wantSpan + "-00", true, false},
+		{"other flag bits ignored", "00-" + wantTrace + "-" + wantSpan + "-03", true, true},
+		{"higher version with trailing field", "cc-" + wantTrace + "-" + wantSpan + "-01-whatever", true, true},
+		{"empty", "", false, false},
+		{"version ff invalid", "ff-" + wantTrace + "-" + wantSpan + "-01", false, false},
+		{"version 00 with extra field", "00-" + wantTrace + "-" + wantSpan + "-01-extra", false, false},
+		{"uppercase hex", "00-" + strings.ToUpper(wantTrace) + "-" + wantSpan + "-01", false, false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + wantSpan + "-01", false, false},
+		{"all-zero span id", "00-" + wantTrace + "-" + strings.Repeat("0", 16) + "-01", false, false},
+		{"short trace id", "00-4bf92f-" + wantSpan + "-01", false, false},
+		{"short span id", "00-" + wantTrace + "-00f067-01", false, false},
+		{"missing flags", "00-" + wantTrace + "-" + wantSpan, false, false},
+		{"non-hex version", "zz-" + wantTrace + "-" + wantSpan + "-01", false, false},
+		{"non-hex flags", "00-" + wantTrace + "-" + wantSpan + "-zz", false, false},
+		{"garbage", "not a traceparent at all", false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc, ok := ParseTraceparent(c.in)
+			if ok != c.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", c.in, ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if tc.TraceID != wantTrace || tc.SpanID != wantSpan {
+				t.Errorf("ids = %q/%q, want %q/%q", tc.TraceID, tc.SpanID, wantTrace, wantSpan)
+			}
+			if tc.Sampled != c.sampled {
+				t.Errorf("sampled = %v, want %v", tc.Sampled, c.sampled)
+			}
+		})
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	h := FormatTraceparent(wantTrace, wantSpan, true)
+	if h != "00-"+wantTrace+"-"+wantSpan+"-01" {
+		t.Fatalf("FormatTraceparent = %q", h)
+	}
+	tc, ok := ParseTraceparent(h)
+	if !ok || tc.TraceID != wantTrace || tc.SpanID != wantSpan || !tc.Sampled {
+		t.Fatalf("round trip lost identity: %+v ok=%v", tc, ok)
+	}
+	if h := FormatTraceparent(wantTrace, wantSpan, false); !strings.HasSuffix(h, "-00") {
+		t.Fatalf("unsampled flags = %q, want -00 suffix", h)
+	}
+}
+
+func TestValidTracestate(t *testing.T) {
+	if !ValidTracestate("congo=t61rcWkgMzE,rojo=00f067aa0ba902b7") {
+		t.Error("spec example rejected")
+	}
+	if ValidTracestate("") {
+		t.Error("empty accepted")
+	}
+	if ValidTracestate("has\ncontrol") {
+		t.Error("control character accepted")
+	}
+	if ValidTracestate(strings.Repeat("x", 513)) {
+		t.Error("oversized accepted")
+	}
+	if !ValidTracestate(strings.Repeat("x", 512)) {
+		t.Error("512-byte value rejected")
+	}
+}

@@ -102,15 +102,19 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The request context carries the trace identity into the append
+	// (exemplars) and, via blob stats, any WAL/segment reads it triggers.
+	ctx, bst := withBlobStats(r.Context(), ev)
 	resp := ingestResponse{Streams: map[string]int{}}
 	var appendErr error
 	for _, s := range batch.Streams {
-		if appendErr = sv.Ingest.Append(tenant, s, batch.Groups[s]); appendErr != nil {
+		if appendErr = sv.Ingest.AppendContext(ctx, tenant, s, batch.Groups[s]); appendErr != nil {
 			break
 		}
 		resp.Accepted += len(batch.Groups[s])
 		resp.Streams[tenant+"/"+s] = len(batch.Groups[s])
 	}
+	stampBlobStats(ev, bst)
 	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
 	if len(resp.Streams) == 0 {
 		resp.Streams = nil

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"loggrep/internal/obsv"
+	"loggrep/internal/otlp"
 )
 
 // Admission-control and lifecycle metrics, registered in obsv.Default.
@@ -68,16 +68,22 @@ func registerRuntimeGauges() {
 	})
 }
 
-// traceIDKey carries the request's trace id in its context; instrument
-// installs it, traceIDFrom reads it back.
-type traceIDKey struct{}
-
-// traceIDFrom returns the trace id instrument assigned to this request, or
-// "" for a request that never passed through instrument (tests calling
-// handlers directly).
-func traceIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(traceIDKey{}).(string)
-	return id
+// requestIDs resolves a request's W3C trace identity: a valid inbound
+// traceparent header joins the caller's trace (the caller's span becomes
+// our parent and its tracestate is carried through); anything else roots
+// a fresh 128-bit trace here. Either way this process opens its own span.
+func requestIDs(r *http.Request) obsv.ReqIDs {
+	ids := obsv.ReqIDs{SpanID: obsv.NewSpanID()}
+	if tc, ok := otlp.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ids.TraceID = tc.TraceID
+		ids.ParentSpanID = tc.SpanID
+		if ts := r.Header.Get("tracestate"); otlp.ValidTracestate(ts) {
+			ids.TraceState = ts
+		}
+	} else {
+		ids.TraceID = obsv.NewTraceID128()
+	}
+	return ids
 }
 
 // instrument wraps a handler with a per-endpoint request counter and latency
@@ -86,10 +92,15 @@ func traceIDFrom(ctx context.Context) string {
 // loggrep_http_request_ns{endpoint="..."}. Every endpoint label is
 // documented in OPERATIONS.md; keep the two in sync.
 //
-// It also assigns each request a trace id — echoed in the X-Trace-Id
-// response header, stored in the request context for wide events, and
-// attached to the latency observation as the histogram bucket's exemplar —
-// so a slow observation on /metrics can be joined back to its wide event.
+// It is also the W3C trace-context boundary: an inbound traceparent
+// header is parsed and joined (the caller's 128-bit trace id becomes this
+// request's; the caller's span id its parent), a request without one
+// roots a fresh trace, and the response echoes `traceparent` with the
+// span this process opened plus the compatible X-Trace-Id header. The
+// identity rides the request context for wide events and ingest/blob
+// exemplars, and the trace id is attached to the latency observation as
+// the histogram bucket's exemplar — so a slow observation on /metrics can
+// be joined back to its wide event and its exported OTLP span.
 //
 // Finally it is the server's panic boundary: a panicking handler is
 // recovered, counted, handed (with its stack) to the flight recorder —
@@ -103,9 +114,10 @@ func (sv *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 		fmt.Sprintf(`loggrep_http_request_ns{endpoint=%q}`, endpoint), "ns",
 		"HTTP request latency, by endpoint")
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := obsv.NewTraceID()
-		w.Header().Set("X-Trace-Id", id)
-		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
+		ids := requestIDs(r)
+		w.Header().Set("X-Trace-Id", ids.TraceID)
+		w.Header().Set("traceparent", otlp.FormatTraceparent(ids.TraceID, ids.SpanID, true))
+		r = r.WithContext(obsv.ContextWithIDs(r.Context(), ids))
 		t0 := time.Now()
 		defer func() {
 			if v := recover(); v != nil {
@@ -114,7 +126,7 @@ func (sv *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 				httpError(w, http.StatusInternalServerError, "internal error")
 			}
 			reqs.Inc()
-			lat.ObserveExemplar(time.Since(t0).Nanoseconds(), id)
+			lat.ObserveExemplar(time.Since(t0).Nanoseconds(), ids.TraceID)
 		}()
 		fn(w, r)
 	}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"loggrep/internal/obsv"
+
+	// Link in every metric-registering package so the hygiene sweep sees
+	// the process's full metric surface, not just the server's.
+	_ "loggrep/internal/archive"
+	_ "loggrep/internal/blobstore"
+	_ "loggrep/internal/ingest"
+	_ "loggrep/internal/otlp"
+)
+
+// Prometheus data-model grammar for metric and label names.
+var (
+	promNameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// TestMetricHygiene sweeps every metric registered anywhere in the
+// process: each must carry the loggrep_ prefix (one namespace, no
+// collisions with co-resident exporters), non-empty HELP text (the
+// OPERATIONS.md contract), and names/labels valid under the Prometheus
+// data model — which also guarantees the OTLP push never emits a name a
+// collector rejects.
+func TestMetricHygiene(t *testing.T) {
+	registerRuntimeGauges() // normally done in Handler(); force the full surface
+	points := obsv.Default.Snapshot()
+	if len(points) < 20 {
+		t.Fatalf("only %d metrics registered; the hygiene sweep is not seeing the full surface", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		key := p.Name
+		for _, l := range p.Labels {
+			key += "|" + l.Key + "=" + l.Value
+		}
+		if seen[key] {
+			t.Errorf("metric %s registered twice", key)
+		}
+		seen[key] = true
+		if !strings.HasPrefix(p.Name, "loggrep_") {
+			t.Errorf("metric %s lacks the loggrep_ prefix", key)
+		}
+		if !promNameRE.MatchString(p.Name) {
+			t.Errorf("metric %s is not a valid Prometheus name", key)
+		}
+		if strings.TrimSpace(p.Help) == "" {
+			t.Errorf("metric %s has no HELP text", key)
+		}
+		for _, l := range p.Labels {
+			if !promLabelRE.MatchString(l.Key) {
+				t.Errorf("metric %s label %q is not a valid Prometheus label name", key, l.Key)
+			}
+			if l.Key == "_raw" {
+				t.Errorf("metric %s has an unparsable label suffix (registered as %q)", p.Name, l.Value)
+			}
+			if strings.ContainsAny(l.Value, "\"\n\\") {
+				t.Errorf("metric %s label %s value %q needs escaping", key, l.Key, l.Value)
+			}
+		}
+		if p.Kind == obsv.KindCounter && !strings.HasSuffix(p.Name, "_total") {
+			t.Errorf("counter %s should end in _total", key)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
 	"loggrep/internal/obsv"
+	"loggrep/internal/otlp"
 	"loggrep/internal/version"
 )
 
@@ -161,6 +162,13 @@ type Server struct {
 	// Events, setting it forces traced query execution. All recorder
 	// methods are nil-safe, so handlers call through unconditionally.
 	FlightRec *flightrec.Recorder
+	// OTLP, when set, exports one OTLP span tree per finished request —
+	// the request as a root SERVER span joining the caller's W3C trace,
+	// per-stage query spans as children — through the dependency-free
+	// export pipeline (loggrepd -otlp-endpoint). Like Events, setting it
+	// forces traced query execution so exported spans carry stage
+	// timings. All exporter methods are nil-safe and never block.
+	OTLP *otlp.Exporter
 	// Ingest, when set, enables the write path: POST /ingest appends
 	// batches into per-tenant/stream WAL buffers and POST /ingest/seal
 	// forces a stream's raw tail into sealed archive segments. Ingest
@@ -523,14 +531,19 @@ func (sv *Server) queryError(w http.ResponseWriter, err error) int {
 }
 
 // startEvent begins the wide event for one request, or returns nil when
-// neither the wide-event log nor the flight recorder wants it; every
-// downstream helper is nil-safe so the handlers stay branch-free.
+// neither the wide-event log, the flight recorder, nor the OTLP exporter
+// wants it; every downstream helper is nil-safe so the handlers stay
+// branch-free.
 func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
-	if sv.Events == nil && sv.FlightRec == nil {
+	if sv.Events == nil && sv.FlightRec == nil && sv.OTLP == nil {
 		return nil
 	}
+	ids := obsv.IDsFrom(r.Context())
 	return &obsv.WideEvent{
-		TraceID:              traceIDFrom(r.Context()),
+		TraceID:              ids.TraceID,
+		SpanID:               ids.SpanID,
+		ParentSpanID:         ids.ParentSpanID,
+		TraceState:           ids.TraceState,
 		Time:                 time.Now().UTC().Format(time.RFC3339Nano),
 		Version:              version.Version,
 		Endpoint:             endpoint,
@@ -543,8 +556,9 @@ func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
 
 // finishEvent stamps the event's outcome — wall-clock duration (what the
 // slowlog threshold applies to), admission state, final status — then emits
-// it through the log's threshold-or-sampled policy and buffers it in the
-// flight recorder (which may trigger a dump).
+// it through the log's threshold-or-sampled policy, buffers it in the
+// flight recorder (which may trigger a dump), and hands it to the OTLP
+// exporter (a non-blocking enqueue; a full queue drops with a counter).
 func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, status int, errMsg string) {
 	if ev == nil {
 		return
@@ -557,15 +571,17 @@ func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, 
 		sv.Events.Emit(ev)
 	}
 	sv.FlightRec.Record(ev)
+	sv.OTLP.ExportEvent(ev)
 }
 
 // withBlobStats attaches per-request blob accounting to the context when
-// the request has a wide event to stamp it into.
+// the request has a wide event to stamp it into. The request's trace id
+// rides along so blob-layer latency exemplars join the same trace.
 func withBlobStats(ctx context.Context, ev *obsv.WideEvent) (context.Context, *blobstore.OpStats) {
 	if ev == nil {
 		return ctx, nil
 	}
-	bst := &blobstore.OpStats{}
+	bst := &blobstore.OpStats{TraceID: ev.TraceID}
 	return blobstore.WithStats(ctx, bst), bst
 }
 
@@ -640,6 +656,7 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if traced && qr.trace != nil {
+		qr.trace.SetIDs(obsv.IDsFrom(ctx))
 		d := qr.trace.Data()
 		resp.Trace = &d
 	}

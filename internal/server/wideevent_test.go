@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"loggrep/internal/core"
 	"loggrep/internal/loggen"
 	"loggrep/internal/obsv"
+	"loggrep/internal/otlp"
 )
 
 // syncBuffer lets the event log write from handler goroutines while the
@@ -93,8 +95,8 @@ func TestWideEventPerRequest(t *testing.T) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	headerID := resp.Header.Get("X-Trace-Id")
-	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(headerID) {
-		t.Fatalf("X-Trace-Id = %q, want 16 hex chars", headerID)
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(headerID) {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex chars", headerID)
 	}
 	var boxRes queryResponse
 	getJSON(t, ts.URL+"/v1/query?source=arcA&q="+escape(lt.Query), http.StatusOK, &boxRes)
@@ -227,7 +229,7 @@ func TestMetricsExemplarJoinsWideEvent(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 
-	re := regexp.MustCompile(`# EXEMPLAR loggrep_http_request_ns\{endpoint="query"\}.*trace_id="([0-9a-f]{16})"`)
+	re := regexp.MustCompile(`# EXEMPLAR loggrep_http_request_ns\{endpoint="query"\}.*trace_id="([0-9a-f]{32})"`)
 	ms := re.FindAllStringSubmatch(string(body), -1)
 	if len(ms) == 0 {
 		t.Fatalf("/metrics has no exemplar for the query endpoint:\n%s", body)
@@ -276,6 +278,41 @@ func benchQueries(b *testing.B, events bool) {
 // exemplars) on and off.
 func BenchmarkQueryBaseline(b *testing.B)   { benchQueries(b, false) }
 func BenchmarkQueryWideEvents(b *testing.B) { benchQueries(b, true) }
+
+// BenchmarkQueryOTLP adds the full export pipeline to the wide-event
+// path: every request's event is converted and POSTed (in background
+// batches) to a local collector. Paired against BenchmarkQueryWideEvents
+// it isolates the exporter's hot-path cost — which must be one
+// non-blocking channel send; the conversion and HTTP work ride the
+// background goroutine.
+func BenchmarkQueryOTLP(b *testing.B) {
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer collector.Close()
+	lt, _ := loggen.ByName("A")
+	block := lt.Block(5, 3000)
+	sv := New()
+	sv.Events = obsv.NewEventLog(io.Discard, 0, 0)
+	exp := otlp.New(otlp.Config{Endpoint: collector.URL})
+	exp.Start()
+	defer exp.Close(context.Background())
+	sv.OTLP = exp
+	if err := sv.Load("boxA", core.Compress(block, core.DefaultOptions())); err != nil {
+		b.Fatal(err)
+	}
+	h := sv.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("GET", fmt.Sprintf("/v1/query?source=boxA&q=needle%dmissing", i), nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
 
 // BenchmarkQueryTracedOnly isolates the forced-tracing share of the
 // wide-event cost: tracing on, no event log.
