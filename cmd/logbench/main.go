@@ -33,6 +33,7 @@ import (
 	"loggrep/internal/faultinject"
 	"loggrep/internal/harness"
 	"loggrep/internal/ingest"
+	"loggrep/internal/liveops"
 	"loggrep/internal/loggen"
 	"loggrep/internal/obsv"
 	"loggrep/internal/server"
@@ -182,6 +183,10 @@ func main() {
 		}
 		if err := addBlobMetrics(bf, logs, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "logbench: blob metrics:", err)
+			os.Exit(1)
+		}
+		if err := addLiveopsMetrics(bf, logs, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "logbench: liveops metrics:", err)
 			os.Exit(1)
 		}
 		if err := benchfmt.Write(*jsonOut, bf); err != nil {
@@ -422,6 +427,97 @@ func addBlobMetrics(f *benchfmt.File, logs []loggen.LogType, cfg harness.Config)
 		return fmt.Errorf("blob bench issued no operations")
 	}
 	f.Add("blob/retry_overhead_ratio", float64(st.Retries.Load())/ops, "ratio", true)
+	return nil
+}
+
+// addLiveopsMetrics measures the live operations plane on the query hot
+// path: the same uncached needle-miss query driven through the full
+// handler stack with the plane off and on, interleaved reps,
+// min-of-reps. The wall-clock numbers and their ratio are
+// environment-bound (informational tolerances in CI); the two exact bits
+// are genuinely deterministic — the in-flight registry drains to empty
+// (every registration removed exactly once) and the per-tenant usage
+// meter's request count reconciles with the requests actually sent.
+func addLiveopsMetrics(f *benchfmt.File, logs []loggen.LogType, cfg harness.Config) error {
+	lt := logs[0]
+	capsule := loggrep.Compress(lt.Block(cfg.Seed, 3000), loggrep.DefaultOptions())
+
+	newQueryServer := func(plane *liveops.Plane) (*server.Server, error) {
+		sv := server.New()
+		sv.Events = obsv.NewEventLog(io.Discard, 0, 0)
+		sv.Liveops = plane
+		if err := sv.Load("bench", capsule); err != nil {
+			return nil, err
+		}
+		return sv, nil
+	}
+	svOff, err := newQueryServer(nil)
+	if err != nil {
+		return err
+	}
+	plane := liveops.New(liveops.Config{
+		Registry: obsv.NewRegistry(),
+		Objectives: []liveops.Objective{
+			{Name: "availability", Target: 0.999, Window: 30 * 24 * time.Hour},
+		},
+	})
+	svOn, err := newQueryServer(plane)
+	if err != nil {
+		return err
+	}
+
+	const iters = 200
+	var seq int
+	runRep := func(sv *server.Server) (float64, error) {
+		h := sv.Handler()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			seq++ // unique needle per request so the result cache never hits
+			r := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/query?source=bench&tenant=bench&q=needle%dmissing", seq), nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code != 200 {
+				return 0, fmt.Errorf("liveops bench query: status %d", w.Code)
+			}
+		}
+		return time.Since(t0).Seconds() / iters, nil
+	}
+	reps := cfg.QueryReps
+	if reps < 1 {
+		reps = 1
+	}
+	minOff, minOn := 0.0, 0.0
+	for r := 0; r < reps; r++ { // interleave so host drift hits both sides
+		tOff, err := runRep(svOff)
+		if err != nil {
+			return err
+		}
+		tOn, err := runRep(svOn)
+		if err != nil {
+			return err
+		}
+		if r == 0 || tOff < minOff {
+			minOff = tOff
+		}
+		if r == 0 || tOn < minOn {
+			minOn = tOn
+		}
+	}
+	f.Add("liveops/query_off_s", minOff, "s", true)
+	f.Add("liveops/query_on_s", minOn, "s", true)
+	f.Add("liveops/overhead_ratio", minOn/minOff, "ratio", true)
+
+	drained := 0.0
+	if plane.Inflight.Len() == 0 {
+		drained = 1
+	}
+	f.AddExact("liveops/inflight_drained_ok", drained, "bool")
+	metered := 0.0
+	if plane.Usage.Total("bench").Requests == int64(reps*iters) {
+		metered = 1
+	}
+	f.AddExact("liveops/usage_reconciled_ok", metered, "bool")
 	return nil
 }
 

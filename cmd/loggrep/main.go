@@ -23,6 +23,7 @@
 //	loggrep cat app.lgrep > app.log.restored
 //	loggrep verify -deep app.lgrep
 //	loggrep diag flightrec/bundle-20260805T100000.000-0001-sigquit.json
+//	loggrep top -server http://localhost:8080
 package main
 
 import (
@@ -85,6 +86,7 @@ func commands() []*command {
 		newStatsCmd(),
 		newExplainCmd(),
 		newDiagCmd(),
+		newTopCmd(),
 		newVersionCmd(),
 	}
 }

@@ -59,6 +59,16 @@
 // -flightrec-cooldown, oldest pruned beyond -flightrec-max-bundles).
 // Render bundles with `loggrep diag`; live status at GET /debug/flightrec.
 //
+// The live operations plane is always on: GET /v1/inflight lists every
+// executing request with its live progress (blocks scanned/skipped,
+// bytes, budget fraction, stage), DELETE /v1/inflight/{id} cancels one
+// cooperatively (the client gets an empty partial marked "cancelled",
+// never a wrong result), GET /v1/usage reports per-tenant consumption
+// over -usage-windows rolling windows, and GET /v1/slo reports
+// compliance and multi-window burn rates for each -slo objective. A
+// fast burn (both 5m and 1h burn >= 14.4x) triggers a flight-recorder
+// bundle naming the objective. Watch it live with `loggrep top`.
+//
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
 // and heap profiling; leave it off in untrusted networks. OPERATIONS.md
 // documents every endpoint, flag, and exported metric.
@@ -80,6 +90,7 @@ import (
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
+	"loggrep/internal/liveops"
 	"loggrep/internal/obsv"
 	"loggrep/internal/otlp"
 	"loggrep/internal/server"
@@ -131,9 +142,13 @@ func main() {
 	otlpEndpoint := flag.String("otlp-endpoint", "", "base URL of an OTLP/HTTP collector (e.g. http://localhost:4318); spans for every request and seal, plus a metrics snapshot each -otlp-interval, are pushed as JSON (empty = export off)")
 	otlpInterval := flag.Duration("otlp-interval", 10*time.Second, "metrics push cadence and maximum span batch age for -otlp-endpoint")
 	otlpQueue := flag.Int("otlp-queue", 1024, "export queue capacity; a full queue drops events (counted in loggrep_otlp_dropped_total) rather than blocking requests")
+	inflightMax := flag.Int("inflight-max", 1024, "max requests tracked in the /v1/inflight registry; excess requests run untracked (counted in loggrep_inflight_dropped_total)")
+	usageWindows := flag.Int("usage-windows", 12, "rolling 5-minute per-tenant usage windows kept for /v1/usage (12 = one hour of history)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	var loads loadFlags
 	flag.Var(&loads, "load", "name=path of a .lgrep file to preload (repeatable)")
+	var sloSpecs loadFlags
+	flag.Var(&sloSpecs, "slo", "service-level objective as name:target%:window[:latency], e.g. availability:99.9%:30d or read-latency:99%:28d:500ms (repeatable; burn rates at /v1/slo)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("loggrepd", version.String())
@@ -157,6 +172,29 @@ func main() {
 	serverPolicy := blobPolicy
 	serverPolicy.Name = "server"
 	sv.Blobs = blobstore.Wrap(blobstore.NewLocal(""), serverPolicy)
+	// The live operations plane is always on: every request registers in
+	// the in-flight view, meters its tenant, and feeds the SLO engine.
+	var objectives []liveops.Objective
+	for _, spec := range sloSpecs {
+		o, err := liveops.ParseObjective(spec)
+		if err != nil {
+			fatal(fmt.Errorf("bad -slo %q: %w", spec, err))
+		}
+		objectives = append(objectives, o)
+	}
+	plane := liveops.New(liveops.Config{
+		InflightMax:  *inflightMax,
+		UsageWindows: *usageWindows,
+		Objectives:   objectives,
+	})
+	sv.Liveops = plane
+	if len(objectives) > 0 {
+		names := make([]string, len(objectives))
+		for i, o := range objectives {
+			names[i] = o.Name
+		}
+		fmt.Printf("slo engine enabled: %s\n", strings.Join(names, ", "))
+	}
 	var exp *otlp.Exporter
 	if *otlpEndpoint != "" {
 		// Every explicitly-set flag rides each export as a resource
@@ -242,6 +280,9 @@ func main() {
 		rec.Start()
 		defer rec.Stop()
 		sv.FlightRec = rec
+		// A fast SLO burn is exactly the moment a diagnostic bundle is
+		// worth its cost: snapshot the rings while the burn is happening.
+		plane.SLO.OnFastBurn(rec.RecordSLOBurn)
 		quit := make(chan os.Signal, 1)
 		signal.Notify(quit, syscall.SIGQUIT)
 		go rec.DumpOn(quit, "sigquit")

@@ -13,6 +13,7 @@ import (
 
 	"loggrep/internal/blockindex"
 	"loggrep/internal/core"
+	"loggrep/internal/liveops"
 	"loggrep/internal/obsv"
 	"loggrep/internal/query"
 	"loggrep/internal/rtpattern"
@@ -503,6 +504,13 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 	if plan == nil {
 		mArchiveIndexUnusable.Inc()
 	}
+	// Live-ops progress: the block plan is the denominator; workers bump
+	// searched/skipped as they go and the core engine publishes scan
+	// bytes through the same context. All calls are nil-safe no-ops for
+	// unregistered queries.
+	prog := liveops.ProgressFrom(ctx)
+	prog.SetBlocksTotal(int64(len(a.blocks)))
+	prog.SetStage(liveops.StageFilter)
 	var skipped, searched, skippedPost, skippedBloom atomic.Int64
 	type blockRes struct {
 		idx int
@@ -534,11 +542,13 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 						a.indexSkippedPostings.Add(1)
 						mArchiveIndexSkippedPostings.Inc()
 						skippedPost.Add(1)
+						prog.AddBlocksSkipped(1)
 						continue
 					case blockindex.SkipBlooms:
 						a.indexSkippedBlooms.Add(1)
 						mArchiveIndexSkippedBlooms.Inc()
 						skippedBloom.Add(1)
+						prog.AddBlocksSkipped(1)
 						continue
 					}
 					mArchiveIndexAdmitted.Inc()
@@ -547,10 +557,12 @@ func (a *Archive) queryTraced(ctx context.Context, command string, workers int, 
 					a.blocksSkipped.Add(1)
 					mArchiveBlocksSkipped.Inc()
 					skipped.Add(1)
+					prog.AddBlocksSkipped(1)
 					continue
 				}
 				searched.Add(1)
 				mArchiveBlocksSearched.Inc()
+				prog.AddBlocksSearched(1)
 				span := tr.StartSpan("block").Attr("block", int64(idx))
 				tb := time.Now()
 				st, err := b.openStore(ctx, hook)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"loggrep/internal/liveops"
 )
 
 // ErrBudgetExceeded marks a query stopped by its work budget. It never
@@ -106,6 +108,11 @@ type ReadHook func(ctx context.Context) error
 type interruptState struct {
 	ctx    context.Context
 	budget *BudgetState
+	// prog, when the request registered with the live operations plane,
+	// receives the same work deltas the budget is charged — /v1/inflight
+	// progress and budget accounting can never disagree. Nil (a no-op)
+	// for unregistered queries.
+	prog *liveops.Progress
 	// base* snapshot the store totals at query start; charged* remember
 	// what has already been pushed into the shared budget, so checkpoints
 	// charge deltas and archive queries accumulate across blocks.
@@ -129,10 +136,12 @@ func (st *Store) checkpoint() error {
 			return err
 		}
 	}
-	if in.budget != nil {
+	if in.budget != nil || in.prog != nil {
 		scan := st.stats.bytesScanned - in.baseScan
 		dec := st.box.Decompressions - in.baseDecomp
-		in.budget.charge(int64(scan-in.chargedScan), int64(dec-in.chargedDecomp))
+		dScan, dDec := int64(scan-in.chargedScan), int64(dec-in.chargedDecomp)
+		in.budget.charge(dScan, dDec)
+		in.prog.AddScan(dScan, dDec)
 		in.chargedScan, in.chargedDecomp = scan, dec
 		if err := in.budget.Err(); err != nil {
 			return err

@@ -11,6 +11,7 @@ import (
 
 	"loggrep/internal/bitset"
 	"loggrep/internal/capsule"
+	"loggrep/internal/liveops"
 	"loggrep/internal/obsv"
 	"loggrep/internal/query"
 	"loggrep/internal/strmatch"
@@ -445,8 +446,9 @@ func (st *Store) queryTraced(ctx context.Context, command string, budget *Budget
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	prog := liveops.ProgressFrom(ctx)
 	st.intr = &interruptState{
-		ctx: ctx, budget: budget,
+		ctx: ctx, budget: budget, prog: prog,
 		baseScan: st.stats.bytesScanned, baseDecomp: st.box.Decompressions,
 	}
 	defer func() { st.intr = nil }()
@@ -455,6 +457,7 @@ func (st *Store) queryTraced(ctx context.Context, command string, budget *Budget
 	d0 := st.box.Decompressions
 	pruned0, admitted0 := st.en.pruned, st.en.admitted
 	stats0 := st.stats
+	prog.SetStage(liveops.StageFilter)
 	filterSpan := tr.StartSpan("filter")
 	cand, err := st.overApprox(expr)
 	if err != nil && !isInterrupt(err) {
@@ -491,6 +494,7 @@ func (st *Store) queryTraced(ctx context.Context, command string, budget *Budget
 	mQueryBytesScanned.Add(int64(st.stats.bytesScanned - stats0.bytesScanned))
 
 	dFilter := st.box.Decompressions
+	prog.SetStage(liveops.StageVerify)
 	verifySpan := tr.StartSpan("verify")
 	var verr error
 	checked := 0

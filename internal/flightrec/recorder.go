@@ -258,6 +258,19 @@ func (r *Recorder) panicsSnapshot() []PanicInfo {
 	return append([]PanicInfo(nil), r.panics...)
 }
 
+// RecordSLOBurn is the SLO trigger class: a fast-burn edge detected by
+// the live-ops burn-rate engine captures a diagnostic bundle whose
+// manifest names the breached objective ("slo-fast-burn:<objective>"),
+// so the bundle an operator opens after a page already says which
+// promise was being broken. Asynchronous and cooldown-suppressed like
+// every request-driven trigger; nil-safe.
+func (r *Recorder) RecordSLOBurn(objective string) {
+	if r == nil {
+		return
+	}
+	r.triggerAsync("slo-fast-burn:" + objective)
+}
+
 // triggerAsync fires a dump off the request path. Suppression (cooldown
 // or an in-flight dump) is detected synchronously so the hot path never
 // spawns goroutines while a trigger is flapping.

@@ -118,7 +118,7 @@ func (b *Bundle) Story() string {
 	fmt.Fprintf(&w, "\nrequests: %d buffered, %d error(s), %d partial\n", s.Requests, s.Errors, s.Partial)
 	if len(s.Slowest) > 0 && s.Slowest[0].DurNS > 0 {
 		fmt.Fprintf(&w, "\nworst requests:\n")
-		fmt.Fprintf(&w, "  %10s  %6s  %-8s  %-16s  %s\n", "dur", "status", "endpoint", "trace", "command")
+		fmt.Fprintf(&w, "  %10s  %6s  %-8s  %-12s  %-16s  %s\n", "dur", "status", "endpoint", "tenant", "trace", "command")
 		for _, ev := range s.Slowest {
 			cmd := ev.Command
 			if ev.Source != "" {
@@ -127,8 +127,18 @@ func (b *Bundle) Story() string {
 			if len(cmd) > 48 {
 				cmd = cmd[:45] + "..."
 			}
-			fmt.Fprintf(&w, "  %10s  %6d  %-8s  %-16s  %s\n",
-				time.Duration(ev.DurNS).Round(time.Microsecond), ev.Status, ev.Endpoint, ev.TraceID, cmd)
+			// Incident triage wants a name to call: the tenant whose
+			// request was slow. Events recorded before tenant threading
+			// (or with liveops off) render as "-".
+			tenant := ev.Tenant
+			if tenant == "" {
+				tenant = "-"
+			}
+			if len(tenant) > 12 {
+				tenant = tenant[:9] + "..."
+			}
+			fmt.Fprintf(&w, "  %10s  %6d  %-8s  %-12s  %-16s  %s\n",
+				time.Duration(ev.DurNS).Round(time.Microsecond), ev.Status, ev.Endpoint, tenant, ev.TraceID, cmd)
 		}
 	}
 

@@ -1,0 +1,177 @@
+package liveops
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Stage labels where in its lifecycle an in-flight request currently is.
+// Transitions only move forward; a Progress keeps the highest stage it
+// has been set to, so concurrent publishers (parallel archive block
+// workers finishing out of order) cannot make the stage run backwards.
+type Stage int32
+
+const (
+	// StageQueued: admitted or waiting, no engine work yet.
+	StageQueued Stage = iota
+	// StageFilter: pattern-level filtering (stamps, postings, blooms,
+	// capsule scans) is building the candidate set.
+	StageFilter
+	// StageVerify: exact verification of candidate lines.
+	StageVerify
+	// StageDone: the request has finished; its entry is about to leave
+	// the registry.
+	StageDone
+)
+
+// String returns the stage's wire name (the /v1/inflight "stage" field).
+func (s Stage) String() string {
+	switch s {
+	case StageQueued:
+		return "queued"
+	case StageFilter:
+		return "filter"
+	case StageVerify:
+		return "verify"
+	case StageDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Progress is the live progress of one in-flight request, published by
+// the engine's cooperative checkpoints and read by /v1/inflight polls.
+// Writers only ever add non-negative deltas (or raise the stage), so
+// every reading is monotonically non-decreasing — a poller never sees
+// progress run backwards. All methods are atomic, allocation-free and
+// safe on a nil receiver, keeping the hot path branch-light when liveops
+// is disabled.
+type Progress struct {
+	blocksTotal    atomic.Int64
+	blocksSearched atomic.Int64
+	blocksSkipped  atomic.Int64
+	bytesScanned   atomic.Int64
+	decompressions atomic.Int64
+	stage          atomic.Int32
+}
+
+// SetBlocksTotal publishes how many blocks the query's plan covers.
+// Only raises: a racing late SetBlocksTotal cannot shrink the total.
+func (p *Progress) SetBlocksTotal(n int64) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.blocksTotal.Load()
+		if n <= cur || p.blocksTotal.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// AddBlocksSearched records blocks actually opened and searched.
+func (p *Progress) AddBlocksSearched(n int64) {
+	if p != nil && n > 0 {
+		p.blocksSearched.Add(n)
+	}
+}
+
+// AddBlocksSkipped records blocks skipped by index or stamp pruning.
+func (p *Progress) AddBlocksSkipped(n int64) {
+	if p != nil && n > 0 {
+		p.blocksSkipped.Add(n)
+	}
+}
+
+// AddScan records engine scan work: decompressed payload bytes examined
+// and capsule payloads decompressed. Called with deltas from the core
+// checkpoint, so the readings track the budget charges exactly.
+func (p *Progress) AddScan(bytes, decompressions int64) {
+	if p == nil {
+		return
+	}
+	if bytes > 0 {
+		p.bytesScanned.Add(bytes)
+	}
+	if decompressions > 0 {
+		p.decompressions.Add(decompressions)
+	}
+}
+
+// SetStage raises the lifecycle stage. Lowering is ignored so parallel
+// block workers racing through filter/verify cannot flap the reading.
+func (p *Progress) SetStage(s Stage) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.stage.Load()
+		if int32(s) <= cur || p.stage.CompareAndSwap(cur, int32(s)) {
+			return
+		}
+	}
+}
+
+// BytesScanned returns the bytes published so far (tests and fraction
+// computation).
+func (p *Progress) BytesScanned() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.bytesScanned.Load()
+}
+
+// Decompressions returns the decompressions published so far.
+func (p *Progress) Decompressions() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.decompressions.Load()
+}
+
+// ProgressSnapshot is one consistent-enough reading of a Progress: each
+// field is individually atomic; fields may be skewed by in-flight adds,
+// never by decrements (there are none).
+type ProgressSnapshot struct {
+	Stage          string `json:"stage"`
+	BlocksTotal    int64  `json:"blocks_total,omitempty"`
+	BlocksSearched int64  `json:"blocks_searched,omitempty"`
+	BlocksSkipped  int64  `json:"blocks_skipped,omitempty"`
+	BytesScanned   int64  `json:"bytes_scanned"`
+	Decompressions int64  `json:"decompressions"`
+}
+
+// Snapshot reads the current progress.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{Stage: StageQueued.String()}
+	}
+	return ProgressSnapshot{
+		Stage:          Stage(p.stage.Load()).String(),
+		BlocksTotal:    p.blocksTotal.Load(),
+		BlocksSearched: p.blocksSearched.Load(),
+		BlocksSkipped:  p.blocksSkipped.Load(),
+		BytesScanned:   p.bytesScanned.Load(),
+		Decompressions: p.decompressions.Load(),
+	}
+}
+
+// progressKey carries a *Progress on a request context into the engine.
+type progressKey struct{}
+
+// WithProgress returns a context carrying p; the engine's checkpoints
+// publish scan work into it. A nil p returns ctx unchanged.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom returns the context's progress publisher, or nil — and
+// since every Progress method is nil-safe, callers use the result
+// unconditionally.
+func ProgressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

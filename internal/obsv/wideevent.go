@@ -40,9 +40,12 @@ type WideEvent struct {
 	Time         string `json:"time,omitempty"`
 	Version      string `json:"version,omitempty"`
 
-	// Request identity.
+	// Request identity. Tenant is the accountable party (explicit
+	// ?tenant=/X-Loggrep-Tenant, the source name's tenant prefix, or
+	// "default") — the key the liveops usage meter aggregates under.
 	Endpoint string `json:"endpoint,omitempty"`
 	Source   string `json:"source,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
 	Command  string `json:"command"`
 
 	// Outcome. Status is the HTTP status code (0 when no response was
@@ -68,6 +71,11 @@ type WideEvent struct {
 	ScanCacheHits  int64 `json:"scan_cache_hits"`
 	BytesScanned   int64 `json:"bytes_scanned"`
 	Decompressions int64 `json:"decompressions"`
+
+	// Write-path volume (zero for read requests): bytes and lines
+	// durably acknowledged by this ingest request.
+	IngestBytes int64 `json:"ingest_bytes,omitempty"`
+	IngestLines int64 `json:"ingest_lines,omitempty"`
 
 	// Archive shape (zero for single-box sources).
 	Blocks         int64 `json:"blocks,omitempty"`

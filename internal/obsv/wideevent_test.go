@@ -94,6 +94,7 @@ func TestWideEventGolden(t *testing.T) {
 		Version:              "v1.2.3",
 		Endpoint:             "query",
 		Source:               "prod",
+		Tenant:               "acme",
 		Command:              "ERROR AND state:503",
 		Status:               200,
 		DurNS:                1500000,
@@ -114,6 +115,8 @@ func TestWideEventGolden(t *testing.T) {
 		BlocksSkipped:        2,
 		BudgetScanBytes:      1 << 20,
 		BudgetDecompressions: 100,
+		IngestBytes:          2048,
+		IngestLines:          32,
 		Spans: []Span{
 			{Name: "filter", DurNS: 1000000, Attrs: []Attr{{Key: "capsule_scans", Val: 16}}},
 			{Name: "verify", DurNS: 500000, Attrs: []Attr{{Key: "candidates_checked", Val: 9}}},

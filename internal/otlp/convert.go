@@ -245,6 +245,9 @@ func eventAttrs(ev *obsv.WideEvent) []keyValue {
 			attrs = append(attrs, intAttr(k, v))
 		}
 	}
+	if ev.Tenant != "" {
+		attrs = append(attrs, strAttr("loggrep.tenant", ev.Tenant))
+	}
 	if ev.Source != "" {
 		attrs = append(attrs, strAttr("loggrep.source", ev.Source))
 	}

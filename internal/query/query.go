@@ -136,6 +136,21 @@ func Parse(command string) (Expr, error) {
 	return e, nil
 }
 
+// Canonical returns the parser's normalized rendering of a command —
+// fully parenthesized, operators uppercased, phrase spacing collapsed —
+// so different spellings of the same logical query ("a and b", "A AND
+// b", "(a AND b)") compare equal. An unparsable command canonicalizes
+// to itself: the caller wanted a display/grouping key, not an error.
+// The live-ops inflight view uses it to group retries of one logical
+// query across spellings.
+func Canonical(command string) string {
+	e, err := Parse(command)
+	if err != nil {
+		return command
+	}
+	return e.String()
+}
+
 type token struct {
 	kind string // "AND", "OR", "NOT", "(", ")", "WORD"
 	text string

@@ -107,20 +107,27 @@ func (sv *Server) admit(w http.ResponseWriter, r *http.Request) (func(), admitSt
 // from ?timeout_ms= or the server default, clamped to MaxTimeout. The
 // returned cancel must always be called. A malformed timeout_ms writes a
 // 400 and reports not-ok.
-func (sv *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+//
+// The context is cancel-cause capable, and the returned cancelCause is
+// the hook the live-ops in-flight registry fires on DELETE
+// /v1/inflight/{id}: cancelling with liveops.ErrCancelled lets the
+// handler tell an operator cancellation (answer a marked empty partial)
+// from a vanished client (answer nothing).
+func (sv *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, context.CancelCauseFunc, bool) {
 	timeout := sv.QueryTimeout
 	if s := r.URL.Query().Get("timeout_ms"); s != "" {
 		ms, err := strconv.Atoi(s)
 		if err != nil || ms <= 0 {
 			httpError(w, http.StatusBadRequest, "bad timeout_ms parameter")
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		timeout = time.Duration(ms) * time.Millisecond
 	}
 	if sv.MaxTimeout > 0 && (timeout <= 0 || timeout > sv.MaxTimeout) {
 		timeout = sv.MaxTimeout
 	}
-	ctx, cancel := context.WithCancel(r.Context())
+	ctx, cancelCause := context.WithCancelCause(r.Context())
+	cancel := func() { cancelCause(nil) }
 	stop := context.AfterFunc(sv.stopCtx, cancel)
 	if timeout > 0 {
 		var tcancel context.CancelFunc
@@ -129,5 +136,5 @@ func (sv *Server) requestContext(w http.ResponseWriter, r *http.Request) (contex
 		cancel = func() { tcancel(); inner() }
 	}
 	full := cancel
-	return ctx, func() { stop(); full() }, true
+	return ctx, func() { stop(); full() }, cancelCause, true
 }

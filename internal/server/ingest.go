@@ -104,7 +104,14 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context carries the trace identity into the append
 	// (exemplars) and, via blob stats, any WAL/segment reads it triggers.
-	ctx, bst := withBlobStats(r.Context(), ev)
+	// Ingest requests register in the live-ops in-flight view too, with a
+	// cancel-cause hook so DELETE /v1/inflight/{id} can abort a batch
+	// between stream appends (acknowledged lines stay durable).
+	ictx, icancel := context.WithCancelCause(r.Context())
+	defer icancel(nil)
+	ctx, bst := withBlobStats(ictx, ev)
+	ctx, doneInflight := sv.beginLiveops(ctx, r, ev, "ingest", icancel)
+	defer doneInflight()
 	resp := ingestResponse{Streams: map[string]int{}}
 	var appendErr error
 	for _, s := range batch.Streams {
@@ -121,6 +128,8 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if ev != nil {
 		ev.Matches = int64(resp.Accepted) // accepted lines, the ingest "result size"
+		ev.IngestBytes = int64(len(body))
+		ev.IngestLines = int64(resp.Accepted)
 	}
 	status := http.StatusOK
 	switch {

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"fmt"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
+	"loggrep/internal/liveops"
 	"loggrep/internal/obsv"
 
 	// Link in every metric-registering package so the hygiene sweep sees
@@ -29,6 +32,23 @@ var (
 // collector rejects.
 func TestMetricHygiene(t *testing.T) {
 	registerRuntimeGauges() // normally done in Handler(); force the full surface
+
+	// Exercise the live-ops plane on the default registry so its dynamic
+	// label families (loggrep_tenant_*{tenant=}, loggrep_slo_*{objective=})
+	// enter the sweep — including the cardinality guard: more tenants than
+	// the cap must fold into the OverflowTenant label, not mint new ones.
+	const maxTenants = 4
+	plane := liveops.New(liveops.Config{
+		Registry:   obsv.Default,
+		MaxTenants: maxTenants,
+		Objectives: []liveops.Objective{{Name: "hygiene", Target: 0.99, Window: 24 * time.Hour}},
+	})
+	for i := 0; i < 3*maxTenants; i++ {
+		plane.Usage.Record(fmt.Sprintf("hyg-tenant-%d", i), liveops.Usage{Requests: 1, ScanBytes: 64})
+	}
+	plane.SLO.Record(200, time.Millisecond)
+	plane.SLO.Evaluate()
+
 	points := obsv.Default.Snapshot()
 	if len(points) < 20 {
 		t.Fatalf("only %d metrics registered; the hygiene sweep is not seeing the full surface", len(points))
@@ -66,5 +86,33 @@ func TestMetricHygiene(t *testing.T) {
 		if p.Kind == obsv.KindCounter && !strings.HasSuffix(p.Name, "_total") {
 			t.Errorf("counter %s should end in _total", key)
 		}
+	}
+
+	// The live-ops families made it into the sweep, and the tenant label
+	// stayed bounded: at most maxTenants distinct tenants plus the
+	// overflow aggregate, no matter how many tenants sent traffic.
+	tenantVals := map[string]bool{}
+	sawSLO := false
+	for _, p := range points {
+		if strings.HasPrefix(p.Name, "loggrep_tenant_") {
+			for _, l := range p.Labels {
+				if l.Key == "tenant" {
+					tenantVals[l.Value] = true
+				}
+			}
+		}
+		if strings.HasPrefix(p.Name, "loggrep_slo_") {
+			sawSLO = true
+		}
+	}
+	if len(tenantVals) == 0 || !sawSLO {
+		t.Fatal("live-ops metric families missing from the hygiene sweep")
+	}
+	if len(tenantVals) > maxTenants+1 {
+		t.Errorf("tenant label cardinality %d exceeds cap %d+overflow: %v",
+			len(tenantVals), maxTenants, tenantVals)
+	}
+	if !tenantVals[liveops.OverflowTenant] {
+		t.Errorf("overflow tenants did not aggregate under %q: %v", liveops.OverflowTenant, tenantVals)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"loggrep/internal/core"
 	"loggrep/internal/flightrec"
 	"loggrep/internal/ingest"
+	"loggrep/internal/liveops"
 	"loggrep/internal/obsv"
 	"loggrep/internal/otlp"
 	"loggrep/internal/version"
@@ -169,6 +170,14 @@ type Server struct {
 	// forces traced query execution so exported spans carry stage
 	// timings. All exporter methods are nil-safe and never block.
 	OTLP *otlp.Exporter
+	// Liveops, when set, is the live operations plane: every
+	// query/count/ingest request registers in the in-flight registry
+	// (GET /v1/inflight, DELETE /v1/inflight/{id}), its engine work is
+	// attributed to its tenant in the usage meter (GET /v1/usage), and
+	// its outcome feeds the SLO burn-rate engine (GET /v1/slo). Like
+	// Events, setting it forces traced query execution so the meter sees
+	// engine-work fields. All plane methods are nil-safe.
+	Liveops *liveops.Plane
 	// Ingest, when set, enables the write path: POST /ingest appends
 	// batches into per-tenant/stream WAL buffers and POST /ingest/seal
 	// forces a stream's raw tail into sealed archive segments. Ingest
@@ -270,6 +279,10 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", sv.instrument("query", sv.handleQuery))
 	mux.HandleFunc("/v1/count", sv.instrument("count", sv.handleCount))
 	mux.HandleFunc("/v1/entry", sv.instrument("entry", sv.handleEntry))
+	mux.HandleFunc("/v1/inflight", sv.instrument("inflight", sv.handleInflight))
+	mux.HandleFunc("/v1/inflight/", sv.instrument("inflight_cancel", sv.handleInflightID))
+	mux.HandleFunc("/v1/usage", sv.instrument("usage", sv.handleUsage))
+	mux.HandleFunc("/v1/slo", sv.instrument("slo", sv.handleSLO))
 	mux.HandleFunc("/ingest", sv.instrument("ingest", sv.handleIngest))
 	mux.HandleFunc("/ingest/seal", sv.instrument("ingest_seal", sv.handleIngestSeal))
 	mux.HandleFunc("/debug/flightrec", sv.instrument("flightrec", sv.handleFlightRec))
@@ -531,14 +544,15 @@ func (sv *Server) queryError(w http.ResponseWriter, err error) int {
 }
 
 // startEvent begins the wide event for one request, or returns nil when
-// neither the wide-event log, the flight recorder, nor the OTLP exporter
-// wants it; every downstream helper is nil-safe so the handlers stay
-// branch-free.
+// neither the wide-event log, the flight recorder, the OTLP exporter,
+// nor the live operations plane wants it; every downstream helper is
+// nil-safe so the handlers stay branch-free.
 func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
-	if sv.Events == nil && sv.FlightRec == nil && sv.OTLP == nil {
+	if sv.Events == nil && sv.FlightRec == nil && sv.OTLP == nil && sv.Liveops == nil {
 		return nil
 	}
 	ids := obsv.IDsFrom(r.Context())
+	q := r.URL.Query() // parse once; Query() re-parses per call
 	return &obsv.WideEvent{
 		TraceID:              ids.TraceID,
 		SpanID:               ids.SpanID,
@@ -547,8 +561,9 @@ func (sv *Server) startEvent(r *http.Request, endpoint string) *obsv.WideEvent {
 		Time:                 time.Now().UTC().Format(time.RFC3339Nano),
 		Version:              version.Version,
 		Endpoint:             endpoint,
-		Source:               r.URL.Query().Get("source"),
-		Command:              r.URL.Query().Get("q"),
+		Source:               q.Get("source"),
+		Tenant:               requestTenant(q, r.Header),
+		Command:              q.Get("q"),
 		BudgetScanBytes:      sv.Budget.MaxScannedBytes,
 		BudgetDecompressions: sv.Budget.MaxDecompressions,
 	}
@@ -572,6 +587,7 @@ func (sv *Server) finishEvent(ev *obsv.WideEvent, t0 time.Time, adm admitState, 
 	}
 	sv.FlightRec.Record(ev)
 	sv.OTLP.ExportEvent(ev)
+	sv.Liveops.RecordEvent(ev)
 }
 
 // withBlobStats attaches per-request blob accounting to the context when
@@ -613,13 +629,15 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sv.finishEvent(ev, t0, adm, errStatus, errMsg)
 		return
 	}
-	ctx, cancel, ok := sv.requestContext(w, r)
+	ctx, cancel, cancelCause, ok := sv.requestContext(w, r)
 	if !ok {
 		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, "bad timeout_ms parameter")
 		return
 	}
 	defer cancel()
 	ctx, bst := withBlobStats(ctx, ev)
+	ctx, doneInflight := sv.beginLiveops(ctx, r, ev, "query", cancelCause)
+	defer doneInflight()
 	start := time.Now()
 	traced := r.URL.Query().Get("trace") == "1"
 	// The wide event wants span timings even when the client didn't ask
@@ -627,6 +645,24 @@ func (sv *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	qr, err := src.query(ctx, cmd, traced || ev != nil, sv.Budget)
 	stampBlobStats(ev, bst)
 	if err != nil {
+		if reason, ok := liveops.CancelledByOperator(ctx); ok {
+			// An operator killed this request via DELETE /v1/inflight.
+			// Unlike a vanished client, the caller is still listening:
+			// answer a clearly-marked empty partial — the PR 3 contract,
+			// degraded but never wrong.
+			mQueriesHTTPCancelled.Inc()
+			resp := queryResponse{
+				Lines: []int{}, Entries: []string{},
+				Partial: true, PartialTo: reason,
+				ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			}
+			if ev != nil {
+				ev.Partial, ev.PartialReason = true, reason
+			}
+			writeJSON(w, http.StatusOK, resp)
+			sv.finishEvent(ev, t0, adm, http.StatusOK, reason)
+			return
+		}
 		status := sv.queryError(w, err)
 		sv.finishEvent(ev, t0, adm, status, err.Error())
 		return
@@ -678,17 +714,31 @@ func (sv *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		sv.finishEvent(ev, t0, adm, errStatus, errMsg)
 		return
 	}
-	ctx, cancel, ok := sv.requestContext(w, r)
+	ctx, cancel, cancelCause, ok := sv.requestContext(w, r)
 	if !ok {
 		sv.finishEvent(ev, t0, adm, http.StatusBadRequest, "bad timeout_ms parameter")
 		return
 	}
 	defer cancel()
 	ctx, bst := withBlobStats(ctx, ev)
+	ctx, doneInflight := sv.beginLiveops(ctx, r, ev, "count", cancelCause)
+	defer doneInflight()
 	start := time.Now()
 	n, damaged, err := src.count(ctx, cmd)
 	stampBlobStats(ev, bst)
 	if err != nil {
+		if reason, ok := liveops.CancelledByOperator(ctx); ok {
+			mQueriesHTTPCancelled.Inc()
+			if ev != nil {
+				ev.Partial, ev.PartialReason = true, reason
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"matches": 0, "partial": true, "partial_reason": reason,
+				"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+			})
+			sv.finishEvent(ev, t0, adm, http.StatusOK, reason)
+			return
+		}
 		status := sv.queryError(w, err)
 		sv.finishEvent(ev, t0, adm, status, err.Error())
 		return
